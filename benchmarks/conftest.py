@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the rows/series it reproduces through
+:func:`report`, which bypasses pytest's output capture so the numbers
+land in ``bench_output.txt`` alongside pytest-benchmark's timing table.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print reproduction rows live (uncaptured)."""
+
+    def emit(*lines: str) -> None:
+        with capsys.disabled():
+            for line in lines:
+                print(line)
+
+    return emit

@@ -1,0 +1,12 @@
+"""Formal analyses: EDL model, end-to-end latency, temporal networks."""
+
+from repro.analysis.e2e import EndToEndModel
+from repro.analysis.edl import EdlBreakdown, EdlModel
+from repro.analysis.stn import SimpleTemporalNetwork
+
+__all__ = [
+    "EdlModel",
+    "EdlBreakdown",
+    "EndToEndModel",
+    "SimpleTemporalNetwork",
+]

@@ -1,0 +1,197 @@
+"""Formal temporal analysis via Simple Temporal Networks.
+
+The paper's closing claim is that "since information regarding the
+event occurrence time and location are kept intact, formal temporal and
+spatial analysis of the cyber-physical systems can be performed using
+this generic framework."  This module provides that formal machinery
+for the temporal side: a Simple Temporal Network (STN) over event time
+variables.
+
+Each node is a time variable (an event occurrence, an interval
+endpoint, a deadline anchor); each constraint bounds the difference of
+two variables: ``min_delay <= t(to) - t(from) <= max_delay``.  Temporal
+event conditions translate directly (``x Before y`` becomes
+``1 <= t(y) - t(x) <= inf``; the paper's ``t_x + 5 Before t_y`` becomes
+``6 <= t(y) - t(x)``), and Floyd–Warshall over the distance graph
+answers:
+
+* **consistency** — can all constraints hold simultaneously? (negative
+  cycle <=> inconsistent);
+* **tightest implied bounds** between any two events (the minimal
+  network);
+* **schedules** — earliest/latest feasible assignment relative to an
+  anchor.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.errors import AnalysisError
+
+__all__ = ["SimpleTemporalNetwork"]
+
+INF = math.inf
+
+
+class SimpleTemporalNetwork:
+    """Difference constraints over event time variables.
+
+    Constraints are stored on the standard STN distance graph: an edge
+    ``u -> v`` with weight ``w`` encodes ``t(v) - t(u) <= w``.
+    """
+
+    def __init__(self):
+        self._nodes: list[str] = []
+        self._index: dict[str, int] = {}
+        self._edges: dict[tuple[int, int], float] = {}
+        self._distance: list[list[float]] | None = None
+
+    # -- construction ----------------------------------------------------
+
+    def add_event(self, name: str) -> None:
+        """Declare a time variable (idempotent)."""
+        if name not in self._index:
+            self._index[name] = len(self._nodes)
+            self._nodes.append(name)
+            self._distance = None
+
+    @property
+    def events(self) -> tuple[str, ...]:
+        """All declared time variables."""
+        return tuple(self._nodes)
+
+    def add_constraint(
+        self,
+        from_event: str,
+        to_event: str,
+        min_delay: float = -INF,
+        max_delay: float = INF,
+    ) -> None:
+        """Require ``min_delay <= t(to) - t(from) <= max_delay``.
+
+        Multiple constraints on a pair intersect (the tightest bounds
+        win).
+        """
+        if min_delay > max_delay:
+            raise AnalysisError(
+                f"min_delay {min_delay} exceeds max_delay {max_delay}"
+            )
+        self.add_event(from_event)
+        self.add_event(to_event)
+        u, v = self._index[from_event], self._index[to_event]
+        if max_delay < INF:
+            self._tighten(u, v, max_delay)
+        if min_delay > -INF:
+            self._tighten(v, u, -min_delay)
+        self._distance = None
+
+    def _tighten(self, u: int, v: int, weight: float) -> None:
+        key = (u, v)
+        current = self._edges.get(key, INF)
+        if weight < current:
+            self._edges[key] = weight
+
+    # -- convenience constraint builders ---------------------------------
+
+    def before(self, first: str, second: str, min_gap: float = 1.0) -> None:
+        """``first`` occurs at least ``min_gap`` ticks before ``second``."""
+        self.add_constraint(first, second, min_delay=min_gap)
+
+    def simultaneous(self, a: str, b: str, tolerance: float = 0.0) -> None:
+        """The two events coincide within ``tolerance`` ticks."""
+        self.add_constraint(a, b, min_delay=-tolerance, max_delay=tolerance)
+
+    def deadline(self, anchor: str, event: str, ticks: float) -> None:
+        """``event`` happens within ``ticks`` after ``anchor``."""
+        self.add_constraint(anchor, event, min_delay=0.0, max_delay=ticks)
+
+    # -- analysis ----------------------------------------------------------
+
+    def _solve(self) -> list[list[float]]:
+        if self._distance is not None:
+            return self._distance
+        n = len(self._nodes)
+        dist = [[0.0 if i == j else INF for j in range(n)] for i in range(n)]
+        for (u, v), w in self._edges.items():
+            if w < dist[u][v]:
+                dist[u][v] = w
+        for k in range(n):
+            for i in range(n):
+                d_ik = dist[i][k]
+                if d_ik == INF:
+                    continue
+                row_k = dist[k]
+                row_i = dist[i]
+                for j in range(n):
+                    candidate = d_ik + row_k[j]
+                    if candidate < row_i[j]:
+                        row_i[j] = candidate
+        self._distance = dist
+        return dist
+
+    def consistent(self) -> bool:
+        """Whether some assignment satisfies every constraint."""
+        dist = self._solve()
+        return all(dist[i][i] >= 0 for i in range(len(self._nodes)))
+
+    def implied_bounds(self, from_event: str, to_event: str) -> tuple[float, float]:
+        """Tightest implied bounds on ``t(to) - t(from)``.
+
+        Returns:
+            ``(min_delay, max_delay)``; infinite where unconstrained.
+
+        Raises:
+            AnalysisError: If the network is inconsistent or an event is
+                unknown.
+        """
+        if not self.consistent():
+            raise AnalysisError("network is inconsistent")
+        try:
+            u, v = self._index[from_event], self._index[to_event]
+        except KeyError as exc:
+            raise AnalysisError(f"unknown event {exc.args[0]!r}") from None
+        dist = self._solve()
+        return (-dist[v][u], dist[u][v])
+
+    def earliest_schedule(self, anchor: str) -> dict[str, float]:
+        """Earliest feasible time of every event, with ``anchor`` at 0.
+
+        Raises:
+            AnalysisError: If inconsistent, the anchor is unknown, or an
+                event is unreachable from the anchor's constraint graph
+                (its earliest time would be unbounded below).
+        """
+        if not self.consistent():
+            raise AnalysisError("network is inconsistent")
+        if anchor not in self._index:
+            raise AnalysisError(f"unknown event {anchor!r}")
+        dist = self._solve()
+        a = self._index[anchor]
+        schedule: dict[str, float] = {}
+        for name, i in self._index.items():
+            earliest = -dist[i][a]
+            if earliest == -INF:
+                raise AnalysisError(
+                    f"event {name!r} is unconstrained relative to {anchor!r}"
+                )
+            schedule[name] = earliest
+        return schedule
+
+    def latest_schedule(self, anchor: str) -> dict[str, float]:
+        """Latest feasible time of every event, with ``anchor`` at 0."""
+        if not self.consistent():
+            raise AnalysisError("network is inconsistent")
+        if anchor not in self._index:
+            raise AnalysisError(f"unknown event {anchor!r}")
+        dist = self._solve()
+        a = self._index[anchor]
+        schedule: dict[str, float] = {}
+        for name, i in self._index.items():
+            latest = dist[a][i]
+            if latest == INF:
+                raise AnalysisError(
+                    f"event {name!r} is unconstrained relative to {anchor!r}"
+                )
+            schedule[name] = latest
+        return schedule

@@ -1,0 +1,51 @@
+"""Related-work baseline engines the paper positions itself against
+(Section 2): point-based ECA, Snoop composite events, SnoopIB interval
+semantics and RTL timing constraints."""
+
+from repro.baselines.eca import EcaEngine, EcaRule, EcaTrigger
+from repro.baselines.rtl import ConstraintOutcome, RtlConstraint, RtlMonitor
+from repro.baselines.snoop import (
+    CONTEXTS,
+    Conj,
+    Disj,
+    EventNode,
+    NotBetween,
+    Occurrence,
+    Primitive,
+    Seq,
+    SnoopEngine,
+)
+from repro.baselines.snoopib import (
+    IntervalConj,
+    IntervalDisj,
+    IntervalOccurrence,
+    IntervalPrimitive,
+    IntervalRelation,
+    IntervalSeq,
+    SnoopIBEngine,
+)
+
+__all__ = [
+    "EcaEngine",
+    "EcaRule",
+    "EcaTrigger",
+    "SnoopEngine",
+    "EventNode",
+    "Primitive",
+    "Seq",
+    "Conj",
+    "Disj",
+    "NotBetween",
+    "Occurrence",
+    "CONTEXTS",
+    "SnoopIBEngine",
+    "IntervalPrimitive",
+    "IntervalSeq",
+    "IntervalConj",
+    "IntervalDisj",
+    "IntervalRelation",
+    "IntervalOccurrence",
+    "RtlMonitor",
+    "RtlConstraint",
+    "ConstraintOutcome",
+]

@@ -1,0 +1,264 @@
+"""Baseline: Snoop-style composite events with *point* semantics.
+
+Snoop (Chakravarthy & Mishra, paper ref [21]) composes primitive events
+with operators — sequence, conjunction, disjunction, non-occurrence —
+under *detection-based point semantics*: a composite event "occurs" at
+the time point its terminating constituent is detected.  Section 2
+notes the consequence this reproduction demonstrates: because composite
+occurrences collapse to points, interval relationships such as
+"During" or "Overlap" between composite events are not expressible.
+
+Operators implemented (the Snoop core):
+
+* :class:`Primitive` — a named primitive event;
+* :class:`Seq` — left occurs strictly before right;
+* :class:`Conj` ("AND") — both occur, any order;
+* :class:`Disj` ("OR") — either occurs;
+* :class:`NotBetween` — ``Not(N)[L, R]``: L then R with no N between.
+
+Parameter contexts (how initiators pair with terminators):
+
+* ``unrestricted`` — every valid combination fires;
+* ``recent`` — only the most recent initiator pairs;
+* ``chronicle`` — the oldest unconsumed initiator pairs and is consumed.
+
+No spatial constraints exist anywhere in the language — the second gap
+the CPS event model fills.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.errors import ConditionError
+from repro.core.time_model import TimePoint
+
+__all__ = [
+    "Occurrence",
+    "EventNode",
+    "Primitive",
+    "Seq",
+    "Conj",
+    "Disj",
+    "NotBetween",
+    "SnoopEngine",
+    "CONTEXTS",
+]
+
+CONTEXTS = ("unrestricted", "recent", "chronicle")
+
+
+@dataclass(frozen=True)
+class Occurrence:
+    """A (possibly composite) event occurrence at a time *point*.
+
+    ``constituents`` records the primitive (name, time) pairs folded in,
+    preserving provenance for assertions in tests.
+    """
+
+    time: TimePoint
+    constituents: tuple[tuple[str, TimePoint], ...]
+
+    @staticmethod
+    def primitive(name: str, time: TimePoint) -> "Occurrence":
+        return Occurrence(time, ((name, time),))
+
+    def merge(self, other: "Occurrence", at: TimePoint) -> "Occurrence":
+        """Composite occurrence at ``at`` from two sub-occurrences."""
+        return Occurrence(at, self.constituents + other.constituents)
+
+
+class EventNode(ABC):
+    """A node of the Snoop operator tree."""
+
+    @abstractmethod
+    def feed(self, occurrence: Occurrence, name: str, context: str) -> list[Occurrence]:
+        """Propagate a primitive occurrence; return completions here."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Drop buffered partial detections."""
+
+
+class Primitive(EventNode):
+    """Leaf: matches primitive occurrences by name."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise ConditionError("primitive event needs a name")
+        self.name = name
+
+    def feed(self, occurrence: Occurrence, name: str, context: str) -> list[Occurrence]:
+        return [occurrence] if name == self.name else []
+
+    def reset(self) -> None:  # leaves keep no state
+        pass
+
+
+class _Binary(EventNode):
+    """Shared buffering for two-operand operators."""
+
+    def __init__(self, left: EventNode, right: EventNode):
+        self.left = left
+        self.right = right
+        self._left_buffer: list[Occurrence] = []
+        self._right_buffer: list[Occurrence] = []
+
+    def reset(self) -> None:
+        self._left_buffer.clear()
+        self._right_buffer.clear()
+        self.left.reset()
+        self.right.reset()
+
+    @staticmethod
+    def _select(buffer: list[Occurrence], context: str) -> list[Occurrence]:
+        """Initiators to pair with, per parameter context."""
+        if not buffer:
+            return []
+        if context == "recent":
+            return [buffer[-1]]
+        if context == "chronicle":
+            return [buffer[0]]
+        return list(buffer)
+
+    @staticmethod
+    def _consume(buffer: list[Occurrence], used: Sequence[Occurrence], context: str) -> None:
+        if context == "chronicle":
+            for occurrence in used:
+                try:
+                    buffer.remove(occurrence)
+                except ValueError:
+                    pass
+
+
+class Seq(_Binary):
+    """Sequence: left strictly before right (by occurrence point)."""
+
+    def feed(self, occurrence: Occurrence, name: str, context: str) -> list[Occurrence]:
+        completions: list[Occurrence] = []
+        for left_occ in self.left.feed(occurrence, name, context):
+            self._left_buffer.append(left_occ)
+        for right_occ in self.right.feed(occurrence, name, context):
+            candidates = [
+                left_occ
+                for left_occ in self._select(self._left_buffer, context)
+                if left_occ.time < right_occ.time
+            ]
+            for left_occ in candidates:
+                completions.append(left_occ.merge(right_occ, right_occ.time))
+            self._consume(self._left_buffer, candidates, context)
+        return completions
+
+
+class Conj(_Binary):
+    """Conjunction: both sides occur, in any order."""
+
+    def feed(self, occurrence: Occurrence, name: str, context: str) -> list[Occurrence]:
+        completions: list[Occurrence] = []
+        lefts = self.left.feed(occurrence, name, context)
+        rights = self.right.feed(occurrence, name, context)
+        for left_occ in lefts:
+            partners = self._select(self._right_buffer, context)
+            for right_occ in partners:
+                completions.append(
+                    left_occ.merge(right_occ, max(left_occ.time, right_occ.time))
+                )
+            self._consume(self._right_buffer, partners, context)
+            self._left_buffer.append(left_occ)
+        for right_occ in rights:
+            partners = self._select(self._left_buffer, context)
+            for left_occ in partners:
+                # Skip self-pairing when one primitive feeds both sides.
+                if left_occ is right_occ:
+                    continue
+                completions.append(
+                    left_occ.merge(right_occ, max(left_occ.time, right_occ.time))
+                )
+            self._consume(self._left_buffer, partners, context)
+            self._right_buffer.append(right_occ)
+        return completions
+
+
+class Disj(_Binary):
+    """Disjunction: either side's occurrence is a completion."""
+
+    def feed(self, occurrence: Occurrence, name: str, context: str) -> list[Occurrence]:
+        return self.left.feed(occurrence, name, context) + self.right.feed(
+            occurrence, name, context
+        )
+
+
+class NotBetween(EventNode):
+    """``Not(N)[L, R]``: L followed by R with no N in between."""
+
+    def __init__(self, initiator: EventNode, non_event: EventNode, terminator: EventNode):
+        self.initiator = initiator
+        self.non_event = non_event
+        self.terminator = terminator
+        self._open: list[Occurrence] = []
+
+    def reset(self) -> None:
+        self._open.clear()
+        self.initiator.reset()
+        self.non_event.reset()
+        self.terminator.reset()
+
+    def feed(self, occurrence: Occurrence, name: str, context: str) -> list[Occurrence]:
+        completions: list[Occurrence] = []
+        if self.non_event.feed(occurrence, name, context):
+            self._open.clear()
+        for terminator_occ in self.terminator.feed(occurrence, name, context):
+            survivors = [
+                initiator_occ
+                for initiator_occ in self._open
+                if initiator_occ.time < terminator_occ.time
+            ]
+            if context == "recent" and survivors:
+                survivors = [survivors[-1]]
+            elif context == "chronicle" and survivors:
+                survivors = [survivors[0]]
+            for initiator_occ in survivors:
+                completions.append(
+                    initiator_occ.merge(terminator_occ, terminator_occ.time)
+                )
+            if context == "chronicle":
+                for used in survivors:
+                    try:
+                        self._open.remove(used)
+                    except ValueError:
+                        pass
+        for initiator_occ in self.initiator.feed(occurrence, name, context):
+            self._open.append(initiator_occ)
+        return completions
+
+
+class SnoopEngine:
+    """Drives one operator tree over a primitive event stream.
+
+    Args:
+        root: The composite event expression.
+        context: Parameter context (see module docstring).
+    """
+
+    def __init__(self, root: EventNode, context: str = "unrestricted"):
+        if context not in CONTEXTS:
+            raise ConditionError(
+                f"unknown context {context!r}; choose from {CONTEXTS}"
+            )
+        self.root = root
+        self.context = context
+        self.detections: list[Occurrence] = []
+
+    def submit(self, name: str, tick: int) -> list[Occurrence]:
+        """Feed one primitive occurrence; return new composite detections."""
+        occurrence = Occurrence.primitive(name, TimePoint(tick))
+        completions = self.root.feed(occurrence, name, self.context)
+        self.detections.extend(completions)
+        return completions
+
+    def reset(self) -> None:
+        """Drop all partial and completed detections."""
+        self.root.reset()
+        self.detections.clear()

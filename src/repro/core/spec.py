@@ -1,0 +1,242 @@
+"""Event specifications: what an observer watches for and what it emits.
+
+A specification packages everything an observer (Definition 4.3) needs
+to turn input entities into event instances:
+
+* **roles with selectors** — the named entity slots of the condition
+  (the ``x``, ``y`` of the paper's examples) and which entities may
+  bind them (by kind, layer, region and minimum confidence);
+* **a composite condition tree** (Eq. 4.5) over those roles;
+* **an output policy** — the aggregation functions used to derive the
+  emitted instance's estimated occurrence time ``t_eo``, location
+  ``l_eo``, attributes ``V`` and confidence ``rho`` from the satisfied
+  binding (Eq. 4.7);
+* **a window** — how long (in ticks) an input entity remains eligible
+  for new bindings, bounding the detection engine's state.
+
+Specifications are declarative and observer-agnostic: the same spec can
+be installed on a sensor mote (over physical observations), a sink node
+(over sensor events) or a CCU (over cyber-physical events), which is
+exactly the flexibility the paper's layered model calls for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.composite import ConditionNode, as_node
+from repro.core.conditions import AttributeTerm, Condition
+from repro.core.entity import Entity, confidence_of
+from repro.core.errors import SpecificationError
+from repro.core.event import EventLayer
+from repro.core.instance import EventInstance, PhysicalObservation
+from repro.core.space_model import Field, PointLocation
+
+__all__ = [
+    "EntitySelector",
+    "OutputAttribute",
+    "OutputPolicy",
+    "EventSpecification",
+]
+
+
+@dataclass(frozen=True)
+class EntitySelector:
+    """Filter deciding which entities may bind a specification role.
+
+    Args:
+        kinds: Acceptable entity kinds.  For event instances a kind is
+            the instance's ``event_id``; for physical observations it is
+            a sensed-quantity name that must appear among the
+            observation's attributes.  ``None`` accepts any kind.
+        layers: Acceptable event-model layers (``None`` = any).
+        region: When given, the entity's occurrence location must lie
+            inside (points) or intersect (fields) this region.
+        min_confidence: Least acceptable observer confidence ``rho``.
+    """
+
+    kinds: frozenset[str] | None = None
+    layers: frozenset[EventLayer] | None = None
+    region: Field | None = None
+    min_confidence: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kinds is not None:
+            object.__setattr__(self, "kinds", frozenset(self.kinds))
+        if self.layers is not None:
+            object.__setattr__(self, "layers", frozenset(self.layers))
+
+    def matches(self, entity: Entity) -> bool:
+        """Whether the entity satisfies every selector clause."""
+        if self.layers is not None and self._layer_of(entity) not in self.layers:
+            return False
+        if self.kinds is not None and not self._kind_matches(entity):
+            return False
+        if confidence_of(entity) < self.min_confidence:
+            return False
+        if self.region is not None and not self._in_region(entity):
+            return False
+        return True
+
+    def _layer_of(self, entity: Entity) -> EventLayer:
+        if isinstance(entity, PhysicalObservation):
+            return EventLayer.OBSERVATION
+        if isinstance(entity, EventInstance):
+            return entity.layer
+        return EventLayer.PHYSICAL
+
+    def _kind_matches(self, entity: Entity) -> bool:
+        assert self.kinds is not None
+        if isinstance(entity, EventInstance):
+            return entity.event_id in self.kinds
+        if isinstance(entity, PhysicalObservation):
+            return any(kind in entity.attributes for kind in self.kinds)
+        kind = getattr(entity, "kind", None)
+        return kind in self.kinds
+
+    def _in_region(self, entity: Entity) -> bool:
+        assert self.region is not None
+        location = entity.occurrence_location
+        if isinstance(location, PointLocation):
+            return self.region.contains_point(location)
+        return self.region.intersects(location)
+
+
+@dataclass(frozen=True)
+class OutputAttribute:
+    """How one output attribute of the emitted instance is computed.
+
+    ``OutputAttribute("temp", "average", (AttributeTerm("x", "temperature"),))``
+    sets ``V["temp"]`` to the average temperature over role ``x``.
+    """
+
+    name: str
+    aggregate: str
+    terms: tuple[AttributeTerm, ...]
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise SpecificationError(
+                f"output attribute {self.name!r} needs at least one term"
+            )
+
+
+@dataclass(frozen=True)
+class OutputPolicy:
+    """Aggregation recipe for the emitted instance's 6-tuple (Eq. 4.7).
+
+    Args:
+        time: ``g_t`` name for the estimated occurrence time ``t_eo``
+            (``"earliest"``, ``"latest"`` or ``"span"`` — ``"span"``
+            yields an interval estimate).
+        space: ``g_s`` name for the estimated occurrence location
+            ``l_eo`` (``"centroid"``, ``"hull"`` or ``"box"`` — the
+            latter two yield field estimates).
+        attributes: Output attribute recipes.
+        confidence: Fusion method for ``rho`` over the bound entities'
+            confidences (``"min"``, ``"mean"``, ``"product"`` or
+            ``"noisy_or"``).
+    """
+
+    time: str = "earliest"
+    space: str = "centroid"
+    attributes: tuple[OutputAttribute, ...] = ()
+    confidence: str = "min"
+
+    _TIME_CHOICES = ("earliest", "latest", "span")
+    _SPACE_CHOICES = ("centroid", "hull", "box", "location")
+    _CONFIDENCE_CHOICES = ("min", "mean", "product", "noisy_or")
+
+    def __post_init__(self) -> None:
+        if self.time not in self._TIME_CHOICES:
+            raise SpecificationError(
+                f"unknown time policy {self.time!r}; choose from "
+                f"{self._TIME_CHOICES}"
+            )
+        if self.space not in self._SPACE_CHOICES:
+            raise SpecificationError(
+                f"unknown space policy {self.space!r}; choose from "
+                f"{self._SPACE_CHOICES}"
+            )
+        if self.confidence not in self._CONFIDENCE_CHOICES:
+            raise SpecificationError(
+                f"unknown confidence policy {self.confidence!r}; choose from "
+                f"{self._CONFIDENCE_CHOICES}"
+            )
+
+
+@dataclass(frozen=True)
+class EventSpecification:
+    """A complete event definition an observer can evaluate.
+
+    Args:
+        event_id: The event identifier ``Eid`` instances will carry.
+        selectors: Role name -> :class:`EntitySelector`.  Every role the
+            condition references must be declared here.
+        condition: The composite condition tree (Eq. 4.5).
+        window: Ticks an input entity stays eligible for binding; 0
+            means only co-arriving entities can bind (single-shot).
+        output: Recipe for the emitted instance tuple.
+        description: Optional prose for documentation and tracing.
+        group_roles: Roles that bind *all* matching entities currently
+            in the window as a group (for windowed aggregates such as
+            "the average of the last n readings") instead of one entity
+            per binding.
+        cooldown: Minimum ticks between two matches of this spec at one
+            observer; 0 reports every satisfied binding.  Correlated
+            inputs (many motes seeing the same fire) otherwise yield a
+            quadratic burst of equivalent instances.
+    """
+
+    event_id: str
+    selectors: Mapping[str, EntitySelector]
+    condition: ConditionNode | Condition
+    window: int = 0
+    output: OutputPolicy = field(default_factory=OutputPolicy)
+    description: str = ""
+    group_roles: frozenset[str] = frozenset()
+    cooldown: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "condition", as_node(self.condition))
+        object.__setattr__(self, "selectors", dict(self.selectors))
+        object.__setattr__(self, "group_roles", frozenset(self.group_roles))
+        if not self.event_id:
+            raise SpecificationError("event_id must be non-empty")
+        if not self.selectors:
+            raise SpecificationError(
+                f"specification {self.event_id!r} declares no roles"
+            )
+        if self.window < 0:
+            raise SpecificationError(f"negative window {self.window}")
+        if self.cooldown < 0:
+            raise SpecificationError(f"negative cooldown {self.cooldown}")
+        missing = self.condition.roles - set(self.selectors)
+        if missing:
+            raise SpecificationError(
+                f"specification {self.event_id!r} references undeclared "
+                f"roles {sorted(missing)}"
+            )
+        unknown_groups = self.group_roles - set(self.selectors)
+        if unknown_groups:
+            raise SpecificationError(
+                f"group_roles {sorted(unknown_groups)} are not declared roles"
+            )
+
+    @property
+    def roles(self) -> tuple[str, ...]:
+        """Declared role names in a stable order."""
+        return tuple(sorted(self.selectors))
+
+    def candidate_roles(self, entity: Entity) -> tuple[str, ...]:
+        """Roles whose selector accepts the given entity."""
+        return tuple(
+            role
+            for role in self.roles
+            if self.selectors[role].matches(entity)
+        )
+
+    def describe(self) -> str:
+        """Rendering close to the paper's ``{Eid, (...)}`` notation."""
+        return f"{{{self.event_id}, {self.condition.describe()}}}"

@@ -1,0 +1,163 @@
+"""Base classes for CPS hardware components and observers.
+
+Section 3 defines the component taxonomy (sensor, actuator, motes,
+sink/dispatch nodes, CCU, database server); Definition 4.3 singles out
+*observers* — components that "collect data, evaluate these data based
+on event conditions, and output the according event instance".
+
+:class:`CPSComponent` carries the shared identity/position/trace
+plumbing.  :class:`ObserverComponent` adds the observer machinery: a
+:class:`~repro.detect.engine.DetectionEngine` loaded with event
+specifications, per-event sequence counters, and the emit path that
+builds the Eq. 4.7 instance tuple and hands it to the concrete
+component's distribution logic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.entity import Entity
+from repro.core.errors import ComponentError
+from repro.core.event import EventLayer
+from repro.core.instance import EventInstance, ObserverId, ObserverKind
+from repro.core.space_model import PointLocation
+from repro.core.spec import EventSpecification
+from repro.detect.engine import DetectionEngine, Match, build_instance
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["CPSComponent", "ObserverComponent"]
+
+
+class CPSComponent:
+    """Common identity, position and tracing for every component.
+
+    Args:
+        name: Unique component name within the system.
+        location: Fixed deployment position.
+        sim: The simulation kernel.
+        trace: Optional shared trace recorder.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        location: PointLocation,
+        sim: Simulator,
+        trace: TraceRecorder | None = None,
+    ):
+        if not name:
+            raise ComponentError("component name must be non-empty")
+        self.name = name
+        self.location = location
+        self.sim = sim
+        self.trace = trace
+
+    def record(self, category: str, **payload: object) -> None:
+        """Write a trace record attributed to this component."""
+        if self.trace is not None:
+            self.trace.record(self.sim.tick, category, self.name, **payload)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class ObserverComponent(CPSComponent):
+    """A component that evaluates event conditions and emits instances.
+
+    Args:
+        name: Component name.
+        location: Deployment position.
+        sim: Simulation kernel.
+        kind: Observer kind for the emitted ``OB_id``.
+        layer: Hierarchy layer of emitted instances.
+        instance_cls: Concrete instance dataclass to emit.
+        specs: Event specifications to install.
+        trace: Optional trace recorder.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        location: PointLocation,
+        sim: Simulator,
+        kind: ObserverKind,
+        layer: EventLayer,
+        instance_cls: type[EventInstance],
+        specs: Sequence[EventSpecification] = (),
+        trace: TraceRecorder | None = None,
+    ):
+        super().__init__(name, location, sim, trace)
+        self.observer_id = ObserverId(kind, name)
+        self.layer = layer
+        self.instance_cls = instance_cls
+        self.engine = DetectionEngine(specs)
+        self._seq: dict[str, int] = {}
+        self.emitted: list[EventInstance] = []
+
+    def add_spec(self, spec: EventSpecification) -> None:
+        """Install another event specification at runtime."""
+        self.engine.add_spec(spec)
+
+    def next_seq(self, event_id: str) -> int:
+        """Next instance sequence number ``i`` for an event id."""
+        seq = self._seq.get(event_id, 0)
+        self._seq[event_id] = seq + 1
+        return seq
+
+    def ingest(self, entity: Entity) -> list[EventInstance]:
+        """Evaluate one input entity; emit instances for new matches."""
+        matches = self.engine.submit(entity, self.sim.tick)
+        return [self._emit_match(match) for match in matches]
+
+    def _emit_match(self, match: Match) -> EventInstance:
+        instance = build_instance(
+            match,
+            observer=self.observer_id,
+            seq=self.next_seq(match.spec.event_id),
+            generated_time=self.sim.now,
+            generated_location=self.location,
+            layer=self.layer,
+            instance_cls=self.instance_cls,
+        )
+        instance = self.refine_instance(instance, match)
+        self.emitted.append(instance)
+        self.record(
+            "instance.emit",
+            event_id=instance.event_id,
+            seq=instance.seq,
+            layer=instance.layer.name,
+            edl=instance.detection_latency,
+            rho=instance.confidence,
+        )
+        self.distribute(instance)
+        return instance
+
+    def refine_instance(
+        self, instance: EventInstance, match: Match
+    ) -> EventInstance:
+        """Hook for subclasses to post-process an instance (e.g. better
+        localization at a sink).  Default: identity."""
+        return instance
+
+    def distribute(self, instance: EventInstance) -> None:
+        """Hook: where emitted instances go (network, bus, rules)."""
+
+    def emit_direct(self, instance: EventInstance) -> None:
+        """Emit an externally constructed instance (interval events).
+
+        Used by components that build instances outside the binding
+        engine — e.g. the mote's interval tracker — so distribution and
+        tracing stay uniform.
+        """
+        self.emitted.append(instance)
+        self.record(
+            "instance.emit",
+            event_id=instance.event_id,
+            seq=instance.seq,
+            layer=instance.layer.name,
+            edl=instance.detection_latency,
+            rho=instance.confidence,
+        )
+        self.distribute(instance)

@@ -1,0 +1,100 @@
+"""Bounded entity windows for incremental condition evaluation.
+
+Observers evaluate conditions over recent entities; windows bound that
+state.  :class:`TickWindow` keeps everything newer than a tick width
+(the specification's ``window``); :class:`CountWindow` keeps the last
+*n* items regardless of age.  Both preserve arrival order, which the
+binding enumerator relies on for deterministic match ordering.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, Iterator, TypeVar
+
+from repro.core.errors import ConditionError
+
+__all__ = ["TickWindow", "CountWindow"]
+
+T = TypeVar("T")
+
+
+class TickWindow(Generic[T]):
+    """Items tagged with their arrival tick, evicted after ``width`` ticks.
+
+    An item added at tick *t* stays eligible through tick ``t + width``
+    inclusive; ``width=0`` keeps only items added at the current tick.
+
+    Args:
+        width: Non-negative window width in ticks.
+    """
+
+    def __init__(self, width: int):
+        if width < 0:
+            raise ConditionError(f"window width cannot be negative: {width}")
+        self.width = width
+        self._items: deque[tuple[int, T]] = deque()
+
+    def add(self, item: T, tick: int) -> None:
+        """Insert an item observed at ``tick``."""
+        self._items.append((tick, item))
+
+    def evict(self, now: int) -> list[T]:
+        """Drop and return items older than the window at ``now``."""
+        evicted: list[T] = []
+        cutoff = now - self.width
+        while self._items and self._items[0][0] < cutoff:
+            evicted.append(self._items.popleft()[1])
+        return evicted
+
+    def items(self, now: int) -> list[T]:
+        """Live items at ``now`` (evicting stale ones first)."""
+        self.evict(now)
+        return [item for _, item in self._items]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return (item for _, item in self._items)
+
+    def clear(self) -> None:
+        """Drop everything."""
+        self._items.clear()
+
+
+class CountWindow(Generic[T]):
+    """The most recent ``capacity`` items (FIFO eviction).
+
+    Args:
+        capacity: Positive maximum size.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ConditionError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._items: deque[T] = deque(maxlen=capacity)
+
+    def add(self, item: T) -> None:
+        """Insert an item, evicting the oldest when full."""
+        self._items.append(item)
+
+    def items(self) -> list[T]:
+        """Current contents, oldest first."""
+        return list(self._items)
+
+    @property
+    def full(self) -> bool:
+        """Whether the window holds ``capacity`` items."""
+        return len(self._items) == self.capacity
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def clear(self) -> None:
+        """Drop everything."""
+        self._items.clear()

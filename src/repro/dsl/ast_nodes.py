@@ -1,0 +1,117 @@
+"""Abstract syntax tree of the event specification language.
+
+The parser produces these plain-data nodes; the compiler lowers them to
+:class:`~repro.core.spec.EventSpecification` objects.  Keeping the AST
+independent of the core model lets the parser stay purely syntactic —
+name resolution (region lookups, aggregate families) happens in the
+compiler where an environment is available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CallExpr",
+    "RolePredicate",
+    "RelPredicate",
+    "AndExpr",
+    "OrExpr",
+    "NotExpr",
+    "RoleDecl",
+    "AttrRecipe",
+    "SpecAst",
+]
+
+
+@dataclass(frozen=True)
+class CallExpr:
+    """A call-form expression: ``name(arg, ...)`` plus a tick offset.
+
+    Args are ``(role, attribute_or_None)`` pairs for identifier
+    arguments and floats for numeric arguments.  ``offset`` renders the
+    ``time(x) + 5`` form.
+    """
+
+    name: str
+    args: tuple[object, ...]
+    offset: int = 0
+    line: int = 0
+    column: int = 0
+
+
+@dataclass(frozen=True)
+class RelPredicate:
+    """``call RELOP number`` — attribute/measure/rho comparisons."""
+
+    call: CallExpr
+    op: str
+    constant: float
+
+
+@dataclass(frozen=True)
+class RolePredicate:
+    """``call KEYWORD call`` — temporal or spatial relation predicates."""
+
+    lhs: CallExpr
+    keyword: str
+    rhs: CallExpr
+
+
+@dataclass(frozen=True)
+class AndExpr:
+    """Conjunction of sub-expressions."""
+
+    children: tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class OrExpr:
+    """Disjunction of sub-expressions."""
+
+    children: tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class NotExpr:
+    """Negation of one sub-expression."""
+
+    child: object
+
+
+@dataclass(frozen=True)
+class RoleDecl:
+    """One WHEN-clause role declaration.
+
+    ``kinds`` empty means any kind (the ``*`` form); ``region`` names an
+    environment region the entity must lie in; ``min_rho`` filters by
+    confidence; ``group`` marks a group-binding role.
+    """
+
+    name: str
+    kinds: tuple[str, ...]
+    group: bool = False
+    region: str | None = None
+    min_rho: float = 0.0
+
+
+@dataclass(frozen=True)
+class AttrRecipe:
+    """One ATTR clause: ``name = aggregate(role.attr, ...)``."""
+
+    name: str
+    aggregate: str
+    terms: tuple[tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class SpecAst:
+    """A full parsed EVENT specification."""
+
+    event_id: str
+    roles: tuple[RoleDecl, ...]
+    condition: object
+    window: int = 0
+    cooldown: int = 0
+    emit: dict[str, str] = field(default_factory=dict)
+    attrs: tuple[AttrRecipe, ...] = ()

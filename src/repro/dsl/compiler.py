@@ -1,0 +1,389 @@
+"""Compiler: DSL syntax trees to executable event specifications.
+
+Name resolution happens here:
+
+* role declarations become :class:`~repro.core.spec.EntitySelector`
+  objects (region names resolve against the supplied environment);
+* call expressions resolve to condition classes by *family* — value
+  aggregates (``avg``, ``max``...) form attribute conditions, spatial
+  measures (``distance``, ``area``...) form spatial measure conditions,
+  temporal measures (``duration``...) temporal measure conditions,
+  ``rho`` confidence conditions, and temporal/spatial constructor
+  calls (``time``, ``location``, ``region``...) form relation
+  predicates;
+* ``EMIT`` / ``ATTR`` clauses become the
+  :class:`~repro.core.spec.OutputPolicy`.
+
+The compiler validates eagerly: unknown aggregates, undeclared roles
+and unresolvable regions all fail at compile time with source
+positions, not at runtime inside an observer.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.aggregates import (
+    SPACE_MEASURES,
+    TIME_MEASURES,
+    VALUE_AGGREGATES,
+)
+from repro.core.composite import And, ConditionNode, Leaf, Not, Or
+from repro.core.conditions import (
+    AttributeCondition,
+    AttributeTerm,
+    ConfidenceCondition,
+    LocationConst,
+    LocationOf,
+    SpaceAgg,
+    SpaceExpr,
+    SpatialCondition,
+    SpatialMeasureCondition,
+    TemporalCondition,
+    TemporalMeasureCondition,
+    TimeAgg,
+    TimeConst,
+    TimeExpr,
+    TimeOf,
+)
+from repro.core.errors import DslSyntaxError
+from repro.core.operators import RelationalOp, SpatialOp, TemporalOp
+from repro.core.space_model import PointLocation, SpatialEntity
+from repro.core.spec import (
+    EntitySelector,
+    EventSpecification,
+    OutputAttribute,
+    OutputPolicy,
+)
+from repro.core.time_model import TimeInterval, TimePoint
+from repro.dsl.ast_nodes import (
+    AndExpr,
+    CallExpr,
+    NotExpr,
+    OrExpr,
+    RelPredicate,
+    RolePredicate,
+    SpecAst,
+)
+from repro.dsl.parser import parse_many
+
+__all__ = ["compile_spec", "compile_source"]
+
+Environment = Mapping[str, SpatialEntity]
+
+_TEMPORAL_CONSTRUCTORS = {"time", "at", "interval", "earliest", "latest", "span"}
+_SPATIAL_CONSTRUCTORS = {"location", "region", "point", "centroid", "hull", "box"}
+
+
+def compile_source(
+    source: str, env: Environment | None = None
+) -> list[EventSpecification]:
+    """Parse and compile every EVENT block in ``source``."""
+    return [compile_spec(ast, env) for ast in parse_many(source)]
+
+
+def compile_spec(
+    ast: SpecAst, env: Environment | None = None
+) -> EventSpecification:
+    """Lower one parsed specification to an executable one."""
+    env = env or {}
+    compiler = _Compiler(ast, env)
+    return compiler.compile()
+
+
+class _Compiler:
+    def __init__(self, ast: SpecAst, env: Environment):
+        self.ast = ast
+        self.env = env
+        self.role_names = {role.name for role in ast.roles}
+
+    def compile(self) -> EventSpecification:
+        selectors = {
+            role.name: self._selector(role) for role in self.ast.roles
+        }
+        group_roles = frozenset(
+            role.name for role in self.ast.roles if role.group
+        )
+        condition = self._expr(self.ast.condition)
+        output = self._output_policy()
+        return EventSpecification(
+            event_id=self.ast.event_id,
+            selectors=selectors,
+            condition=condition,
+            window=self.ast.window,
+            cooldown=self.ast.cooldown,
+            output=output,
+            group_roles=group_roles,
+        )
+
+    # -- roles -----------------------------------------------------------
+
+    def _selector(self, role) -> EntitySelector:
+        region = None
+        if role.region is not None:
+            region = self._region(role.region)
+        return EntitySelector(
+            kinds=frozenset(role.kinds) if role.kinds else None,
+            region=region,
+            min_confidence=role.min_rho,
+        )
+
+    def _region(self, name: str) -> SpatialEntity:
+        try:
+            return self.env[name]
+        except KeyError:
+            raise DslSyntaxError(
+                f"region {name!r} is not defined in the environment "
+                f"(known: {sorted(self.env)})"
+            ) from None
+
+    def _check_role(self, role: str, call: CallExpr) -> str:
+        if role not in self.role_names:
+            raise DslSyntaxError(
+                f"role {role!r} is not declared in WHEN",
+                call.line,
+                call.column,
+            )
+        return role
+
+    # -- expressions -------------------------------------------------------
+
+    def _expr(self, node: object) -> ConditionNode:
+        if isinstance(node, AndExpr):
+            return And(tuple(self._expr(child) for child in node.children))
+        if isinstance(node, OrExpr):
+            return Or(tuple(self._expr(child) for child in node.children))
+        if isinstance(node, NotExpr):
+            return Not(self._expr(node.child))
+        if isinstance(node, RelPredicate):
+            return Leaf(self._rel_predicate(node))
+        if isinstance(node, RolePredicate):
+            return Leaf(self._role_predicate(node))
+        raise DslSyntaxError(f"unknown AST node {node!r}")
+
+    # -- call classification -------------------------------------------------
+
+    def _rel_predicate(self, node: RelPredicate):
+        call = node.call
+        op = RelationalOp.from_symbol(node.op)
+        name = call.name.lower()
+        if name == "rho":
+            role = self._single_role(call)
+            return ConfidenceCondition(role, op, node.constant)
+        attr_terms = [a for a in call.args if isinstance(a, tuple) and a[1]]
+        if name in VALUE_AGGREGATES and attr_terms:
+            terms = tuple(
+                AttributeTerm(self._check_role(role, call), attr)
+                for role, attr in call.args
+            )
+            return AttributeCondition(name, terms, op, node.constant)
+        if name in SPACE_MEASURES:
+            roles = self._role_args(call)
+            return SpatialMeasureCondition(name, roles, op, node.constant)
+        if name in TIME_MEASURES:
+            roles = self._role_args(call)
+            return TemporalMeasureCondition(name, roles, op, node.constant)
+        if name in VALUE_AGGREGATES:
+            raise DslSyntaxError(
+                f"value aggregate {call.name!r} needs role.attribute "
+                "arguments",
+                call.line,
+                call.column,
+            )
+        raise DslSyntaxError(
+            f"unknown function {call.name!r} in comparison",
+            call.line,
+            call.column,
+        )
+
+    def _role_predicate(self, node: RolePredicate):
+        lhs_family = self._family(node.lhs)
+        rhs_family = self._family(node.rhs)
+        if lhs_family != rhs_family:
+            raise DslSyntaxError(
+                f"cannot relate a {lhs_family} expression to a "
+                f"{rhs_family} one",
+                node.lhs.line,
+                node.lhs.column,
+            )
+        if lhs_family == "temporal":
+            op = self._temporal_op(node.keyword, node.lhs)
+            return TemporalCondition(
+                self._time_expr(node.lhs), op, self._time_expr(node.rhs)
+            )
+        op = self._spatial_op(node.keyword, node.lhs)
+        return SpatialCondition(
+            self._space_expr(node.lhs), op, self._space_expr(node.rhs)
+        )
+
+    def _family(self, call: CallExpr) -> str:
+        name = call.name.lower()
+        if name in _TEMPORAL_CONSTRUCTORS:
+            return "temporal"
+        if name in _SPATIAL_CONSTRUCTORS:
+            return "spatial"
+        raise DslSyntaxError(
+            f"{call.name!r} is neither a temporal nor a spatial expression",
+            call.line,
+            call.column,
+        )
+
+    def _temporal_op(self, keyword: str, call: CallExpr) -> TemporalOp:
+        try:
+            return TemporalOp[keyword]
+        except KeyError:
+            raise DslSyntaxError(
+                f"{keyword} is not a temporal operator", call.line, call.column
+            ) from None
+
+    def _spatial_op(self, keyword: str, call: CallExpr) -> SpatialOp:
+        try:
+            return SpatialOp[keyword]
+        except KeyError:
+            raise DslSyntaxError(
+                f"{keyword} is not a spatial operator", call.line, call.column
+            ) from None
+
+    # -- argument helpers ----------------------------------------------------
+
+    def _single_role(self, call: CallExpr) -> str:
+        roles = self._role_args(call)
+        if len(roles) != 1:
+            raise DslSyntaxError(
+                f"{call.name!r} takes exactly one role",
+                call.line,
+                call.column,
+            )
+        return roles[0]
+
+    def _role_args(self, call: CallExpr) -> tuple[str, ...]:
+        roles: list[str] = []
+        for arg in call.args:
+            if not isinstance(arg, tuple) or arg[1] is not None:
+                raise DslSyntaxError(
+                    f"{call.name!r} takes bare role names",
+                    call.line,
+                    call.column,
+                )
+            roles.append(self._check_role(arg[0], call))
+        if not roles:
+            raise DslSyntaxError(
+                f"{call.name!r} needs at least one role",
+                call.line,
+                call.column,
+            )
+        return tuple(roles)
+
+    def _number_args(self, call: CallExpr, count: int) -> list[float]:
+        numbers = [a for a in call.args if isinstance(a, float)]
+        if len(numbers) != count or len(call.args) != count:
+            raise DslSyntaxError(
+                f"{call.name!r} takes exactly {count} numeric argument(s)",
+                call.line,
+                call.column,
+            )
+        return numbers
+
+    # -- expression lowering ---------------------------------------------------
+
+    def _time_expr(self, call: CallExpr) -> TimeExpr:
+        name = call.name.lower()
+        if name == "time":
+            return TimeOf(self._single_role(call), offset=call.offset)
+        if name == "at":
+            (value,) = self._number_args(call, 1)
+            point = TimePoint(int(value) + call.offset)
+            return TimeConst(point)
+        if name == "interval":
+            start, end = self._number_args(call, 2)
+            interval = TimeInterval(
+                TimePoint(int(start) + call.offset),
+                TimePoint(int(end) + call.offset),
+            )
+            return TimeConst(interval)
+        if name in ("earliest", "latest", "span"):
+            if call.offset:
+                raise DslSyntaxError(
+                    f"offsets are not supported on {call.name!r}",
+                    call.line,
+                    call.column,
+                )
+            return TimeAgg(name, self._role_args(call))
+        raise DslSyntaxError(
+            f"{call.name!r} is not a temporal expression",
+            call.line,
+            call.column,
+        )
+
+    def _space_expr(self, call: CallExpr) -> SpaceExpr:
+        name = call.name.lower()
+        if call.offset:
+            raise DslSyntaxError(
+                "offsets are not valid on spatial expressions",
+                call.line,
+                call.column,
+            )
+        if name == "location":
+            return LocationOf(self._single_role(call))
+        if name == "region":
+            region_name = self._single_ident(call)
+            return LocationConst(self._region(region_name))
+        if name == "point":
+            x, y = self._number_args(call, 2)
+            return LocationConst(PointLocation(x, y))
+        if name in ("centroid", "hull", "box"):
+            return SpaceAgg(name, self._role_args(call))
+        raise DslSyntaxError(
+            f"{call.name!r} is not a spatial expression",
+            call.line,
+            call.column,
+        )
+
+    def _single_ident(self, call: CallExpr) -> str:
+        if (
+            len(call.args) != 1
+            or not isinstance(call.args[0], tuple)
+            or call.args[0][1] is not None
+        ):
+            raise DslSyntaxError(
+                f"{call.name!r} takes exactly one name",
+                call.line,
+                call.column,
+            )
+        return call.args[0][0]
+
+    # -- output policy -----------------------------------------------------------
+
+    def _output_policy(self) -> OutputPolicy:
+        emit = dict(self.ast.emit)
+        attributes = []
+        for recipe in self.ast.attrs:
+            if recipe.aggregate.lower() not in VALUE_AGGREGATES:
+                raise DslSyntaxError(
+                    f"unknown aggregate {recipe.aggregate!r} in ATTR "
+                    f"{recipe.name!r}"
+                )
+            terms = []
+            for role, attr in recipe.terms:
+                if role not in self.role_names:
+                    raise DslSyntaxError(
+                        f"ATTR {recipe.name!r} references undeclared role "
+                        f"{role!r}"
+                    )
+                terms.append(AttributeTerm(role, attr))
+            attributes.append(
+                OutputAttribute(recipe.name, recipe.aggregate.lower(), tuple(terms))
+            )
+        known = {"time", "space", "confidence"}
+        unknown = set(emit) - known
+        if unknown:
+            raise DslSyntaxError(
+                f"unknown EMIT settings {sorted(unknown)}; known: "
+                f"{sorted(known)}"
+            )
+        return OutputPolicy(
+            time=emit.get("time", "earliest"),
+            space=emit.get("space", "centroid"),
+            attributes=tuple(attributes),
+            confidence=emit.get("confidence", "min"),
+        )

@@ -1,0 +1,359 @@
+"""Recursive-descent parser for the event specification language.
+
+Grammar (keywords case-insensitive; ``#`` starts a line comment)::
+
+    spec      := "EVENT" IDENT clause*
+    clause    := when | if | window | cooldown | emit | attr
+    when      := "WHEN" role ("," role)*
+    role      := ["GROUP"] IDENT ":" kinds
+                 ["IN" "region" "(" IDENT ")"] ["RHO" ">=" NUMBER]
+    kinds     := "*" | IDENT ("|" IDENT)*
+    if        := "IF" or_expr
+    or_expr   := and_expr ("OR" and_expr)*
+    and_expr  := unary ("AND" unary)*
+    unary     := "NOT" unary | "(" or_expr ")" | predicate
+    predicate := call rel_op NUMBER            -- attribute / measure / rho
+               | call TEMPORAL_OP call         -- temporal relation
+               | call SPATIAL_OP call          -- spatial relation
+    call      := IDENT "(" arg ("," arg)* ")" [("+"|"-") NUMBER]
+    arg       := IDENT ["." IDENT] | NUMBER
+    window    := "WINDOW" NUMBER
+    cooldown  := "COOLDOWN" NUMBER
+    emit      := "EMIT" (IDENT "=" IDENT)+
+    attr      := "ATTR" IDENT "=" IDENT "(" term ("," term)* ")"
+    term      := IDENT "." IDENT
+
+Example::
+
+    EVENT fire_suspected
+      WHEN a: hot_reading, b: hot_reading
+      IF time(a) BEFORE time(b) AND distance(a, b) < 25
+      WINDOW 40 COOLDOWN 50
+      EMIT time=earliest space=centroid confidence=min
+      ATTR temperature = max(a.temperature, b.temperature)
+
+Multiple EVENT blocks may appear in one source string;
+:func:`parse_many` returns them all.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import DslSyntaxError
+from repro.dsl.ast_nodes import (
+    AndExpr,
+    AttrRecipe,
+    CallExpr,
+    NotExpr,
+    OrExpr,
+    RelPredicate,
+    RoleDecl,
+    RolePredicate,
+    SpecAst,
+)
+from repro.dsl.lexer import Token, TokenType, tokenize
+
+__all__ = ["parse", "parse_many", "TEMPORAL_KEYWORDS", "SPATIAL_KEYWORDS"]
+
+TEMPORAL_KEYWORDS = {
+    "BEFORE", "AFTER", "DURING", "MEETS", "MET_BY", "OVERLAPS",
+    "OVERLAPPED_BY", "STARTS", "STARTED_BY", "FINISHES", "FINISHED_BY",
+    "EQUALS", "SIMULTANEOUS", "WITHIN", "INTERSECTS", "BEGINS", "ENDS",
+}
+SPATIAL_KEYWORDS = {
+    "INSIDE", "OUTSIDE", "JOINT", "DISJOINT", "EQUAL_TO",
+}
+_AMBIGUOUS_KEYWORDS = {"CONTAINS"}  # resolved by operand family
+
+_TEMPORAL_CALLS = {"time", "at", "interval", "earliest", "latest", "span"}
+_SPATIAL_CALLS = {"location", "region", "point", "centroid", "hull", "box"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None) -> DslSyntaxError:
+        token = token or self.current
+        return DslSyntaxError(message, token.line, token.column)
+
+    def _expect_keyword(self, name: str) -> Token:
+        if not self.current.is_keyword(name):
+            raise self._error(f"expected {name}, got {self.current.value!r}")
+        return self._advance()
+
+    def _expect_symbol(self, symbol: str) -> Token:
+        token = self.current
+        if token.type is not TokenType.SYMBOL or token.value != symbol:
+            raise self._error(f"expected {symbol!r}, got {token.value!r}")
+        return self._advance()
+
+    def _expect_ident(self) -> str:
+        token = self.current
+        if token.type is not TokenType.IDENT:
+            raise self._error(f"expected identifier, got {token.value!r}")
+        self._advance()
+        return token.value
+
+    def _expect_number(self) -> float:
+        token = self.current
+        if token.type is not TokenType.NUMBER:
+            raise self._error(f"expected number, got {token.value!r}")
+        self._advance()
+        return float(token.value)
+
+    # -- grammar ---------------------------------------------------------
+
+    def parse_specs(self) -> list[SpecAst]:
+        specs: list[SpecAst] = []
+        while self.current.type is not TokenType.EOF:
+            specs.append(self._parse_spec())
+        if not specs:
+            raise self._error("source contains no EVENT specification")
+        return specs
+
+    def _parse_spec(self) -> SpecAst:
+        self._expect_keyword("EVENT")
+        event_id = self._expect_ident()
+        roles: list[RoleDecl] = []
+        condition: object | None = None
+        window = 0
+        cooldown = 0
+        emit: dict[str, str] = {}
+        attrs: list[AttrRecipe] = []
+        while True:
+            token = self.current
+            if token.is_keyword("WHEN"):
+                self._advance()
+                roles.extend(self._parse_roles())
+            elif token.is_keyword("IF"):
+                self._advance()
+                condition = self._parse_or()
+            elif token.is_keyword("WINDOW"):
+                self._advance()
+                window = int(self._expect_number())
+            elif token.is_keyword("COOLDOWN"):
+                self._advance()
+                cooldown = int(self._expect_number())
+            elif token.is_keyword("EMIT"):
+                self._advance()
+                emit.update(self._parse_emit())
+            elif token.is_keyword("ATTR"):
+                self._advance()
+                attrs.append(self._parse_attr())
+            else:
+                break
+        if not roles:
+            raise self._error(f"EVENT {event_id!r} has no WHEN clause")
+        if condition is None:
+            raise self._error(f"EVENT {event_id!r} has no IF clause")
+        return SpecAst(
+            event_id=event_id,
+            roles=tuple(roles),
+            condition=condition,
+            window=window,
+            cooldown=cooldown,
+            emit=emit,
+            attrs=tuple(attrs),
+        )
+
+    def _parse_roles(self) -> list[RoleDecl]:
+        roles = [self._parse_role()]
+        while self.current.type is TokenType.SYMBOL and self.current.value == ",":
+            self._advance()
+            roles.append(self._parse_role())
+        return roles
+
+    def _parse_role(self) -> RoleDecl:
+        group = False
+        if self.current.is_keyword("GROUP"):
+            group = True
+            self._advance()
+        name = self._expect_ident()
+        self._expect_symbol(":")
+        kinds: list[str] = []
+        if self.current.type is TokenType.SYMBOL and self.current.value == "*":
+            self._advance()
+        else:
+            kinds.append(self._parse_kind_name())
+            while (
+                self.current.type is TokenType.SYMBOL
+                and self.current.value == "|"
+            ):
+                self._advance()
+                kinds.append(self._parse_kind_name())
+        region: str | None = None
+        min_rho = 0.0
+        while True:
+            if self.current.is_keyword("IN"):
+                self._advance()
+                func = self._expect_ident()
+                if func != "region":
+                    raise self._error(
+                        f"expected region(...) after IN, got {func!r}"
+                    )
+                self._expect_symbol("(")
+                region = self._expect_ident()
+                self._expect_symbol(")")
+            elif self.current.is_keyword("RHO"):
+                self._advance()
+                op = self.current
+                if op.type is not TokenType.OP or op.value != ">=":
+                    raise self._error("role RHO filter must use >=")
+                self._advance()
+                min_rho = self._expect_number()
+            else:
+                break
+        return RoleDecl(name, tuple(kinds), group, region, min_rho)
+
+    def _parse_kind_name(self) -> str:
+        # Kind names may contain ':' (range:userA) and '.' segments.
+        parts = [self._expect_ident()]
+        while (
+            self.current.type is TokenType.SYMBOL
+            and self.current.value == ":"
+        ):
+            self._advance()
+            parts.append(self._expect_ident())
+        return ":".join(parts)
+
+    def _parse_emit(self) -> dict[str, str]:
+        settings: dict[str, str] = {}
+        while self.current.type is TokenType.IDENT:
+            key = self._expect_ident()
+            self._expect_symbol("=")
+            value = self._expect_ident()
+            settings[key] = value
+        if not settings:
+            raise self._error("EMIT clause lists no settings")
+        return settings
+
+    def _parse_attr(self) -> AttrRecipe:
+        name = self._expect_ident()
+        self._expect_symbol("=")
+        aggregate = self._expect_ident()
+        self._expect_symbol("(")
+        terms = [self._parse_attr_term()]
+        while self.current.type is TokenType.SYMBOL and self.current.value == ",":
+            self._advance()
+            terms.append(self._parse_attr_term())
+        self._expect_symbol(")")
+        return AttrRecipe(name, aggregate, tuple(terms))
+
+    def _parse_attr_term(self) -> tuple[str, str]:
+        role = self._expect_ident()
+        self._expect_symbol(".")
+        attr = self._parse_kind_name()
+        return (role, attr)
+
+    # -- expressions -------------------------------------------------------
+
+    def _parse_or(self) -> object:
+        children = [self._parse_and()]
+        while self.current.is_keyword("OR"):
+            self._advance()
+            children.append(self._parse_and())
+        return children[0] if len(children) == 1 else OrExpr(tuple(children))
+
+    def _parse_and(self) -> object:
+        children = [self._parse_unary()]
+        while self.current.is_keyword("AND"):
+            self._advance()
+            children.append(self._parse_unary())
+        return children[0] if len(children) == 1 else AndExpr(tuple(children))
+
+    def _parse_unary(self) -> object:
+        if self.current.is_keyword("NOT"):
+            self._advance()
+            return NotExpr(self._parse_unary())
+        if self.current.type is TokenType.SYMBOL and self.current.value == "(":
+            self._advance()
+            inner = self._parse_or()
+            self._expect_symbol(")")
+            return inner
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> object:
+        call = self._parse_call()
+        token = self.current
+        if token.type is TokenType.OP:
+            self._advance()
+            constant = self._expect_number()
+            return RelPredicate(call, token.value, constant)
+        if token.type is TokenType.KEYWORD and (
+            token.value in TEMPORAL_KEYWORDS
+            or token.value in SPATIAL_KEYWORDS
+            or token.value in _AMBIGUOUS_KEYWORDS
+        ):
+            self._advance()
+            rhs = self._parse_call()
+            return RolePredicate(call, token.value, rhs)
+        raise self._error(
+            f"expected a comparison or relation after {call.name!r}"
+        )
+
+    def _parse_call(self) -> CallExpr:
+        token = self.current
+        if token.is_keyword("RHO"):
+            # "rho" doubles as the role-filter keyword and the
+            # confidence accessor; as a call name it is an identifier.
+            self._advance()
+            name = "rho"
+        else:
+            name = self._expect_ident()
+        self._expect_symbol("(")
+        args: list[object] = []
+        if not (
+            self.current.type is TokenType.SYMBOL and self.current.value == ")"
+        ):
+            args.append(self._parse_call_arg())
+            while (
+                self.current.type is TokenType.SYMBOL
+                and self.current.value == ","
+            ):
+                self._advance()
+                args.append(self._parse_call_arg())
+        self._expect_symbol(")")
+        offset = 0
+        if self.current.type is TokenType.SYMBOL and self.current.value in "+-":
+            sign = 1 if self._advance().value == "+" else -1
+            offset = sign * int(self._expect_number())
+        return CallExpr(
+            name, tuple(args), offset, line=token.line, column=token.column
+        )
+
+    def _parse_call_arg(self) -> object:
+        if self.current.type is TokenType.NUMBER:
+            return self._expect_number()
+        role = self._expect_ident()
+        if self.current.type is TokenType.SYMBOL and self.current.value == ".":
+            self._advance()
+            return (role, self._parse_kind_name())
+        return (role, None)
+
+
+def parse(source: str) -> SpecAst:
+    """Parse source containing exactly one EVENT specification."""
+    specs = parse_many(source)
+    if len(specs) != 1:
+        raise DslSyntaxError(
+            f"expected exactly one EVENT, found {len(specs)}"
+        )
+    return specs[0]
+
+
+def parse_many(source: str) -> list[SpecAst]:
+    """Parse every EVENT specification in the source."""
+    return _Parser(tokenize(source)).parse_specs()

@@ -1,0 +1,234 @@
+"""Detection-quality metrics: scoring instances against ground truth.
+
+The benchmark harness compares what observers *detected* (event
+instances, Eq. 4.7) with what *really happened* (ground-truth physical
+events, Eq. 5.1).  A detection matches a truth event when their times
+and locations agree within tolerances; greedy one-to-one matching then
+yields precision / recall / F1, and matched pairs yield timing and
+localization error distributions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.event import PhysicalEvent
+from repro.core.instance import EventInstance
+from repro.core.space_model import Field, PointLocation, SpatialEntity
+from repro.core.time_model import TemporalEntity, TimeInterval, TimePoint, intersect
+
+__all__ = [
+    "MatchResult",
+    "match_detections",
+    "precision_recall",
+    "interval_iou",
+    "region_iou",
+    "localization_error",
+    "timing_error",
+]
+
+
+def _time_distance(a: TemporalEntity, b: TemporalEntity) -> int:
+    """Tick distance between two temporal entities (0 when overlapping)."""
+    def bounds(t: TemporalEntity) -> tuple[int, int]:
+        if isinstance(t, TimePoint):
+            return t.tick, t.tick
+        end = t.end.tick if t.end is not None else t.start.tick
+        return t.start.tick, max(t.start.tick, end)
+
+    a_lo, a_hi = bounds(a)
+    b_lo, b_hi = bounds(b)
+    if a_hi < b_lo:
+        return b_lo - a_hi
+    if b_hi < a_lo:
+        return a_lo - b_hi
+    return 0
+
+
+def _representative_point(location: SpatialEntity) -> PointLocation:
+    if isinstance(location, PointLocation):
+        return location
+    return location.centroid()
+
+
+def localization_error(detected: SpatialEntity, truth: SpatialEntity) -> float:
+    """Distance between representative points of the two locations."""
+    return _representative_point(detected).distance_to(
+        _representative_point(truth)
+    )
+
+
+def timing_error(detected: TemporalEntity, truth: TemporalEntity) -> int:
+    """Tick distance between detected and true occurrence times."""
+    return _time_distance(detected, truth)
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of matching detections against ground truth."""
+
+    pairs: tuple[tuple[EventInstance, PhysicalEvent], ...]
+    missed: tuple[PhysicalEvent, ...]
+    false_alarms: tuple[EventInstance, ...]
+
+    @property
+    def true_positives(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def false_negatives(self) -> int:
+        return len(self.missed)
+
+    @property
+    def false_positives(self) -> int:
+        return len(self.false_alarms)
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 1.0 when nothing was detected."""
+        detected = self.true_positives + self.false_positives
+        return self.true_positives / detected if detected else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 1.0 when there was nothing to detect."""
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+    def timing_errors(self) -> list[int]:
+        """Tick error of each matched pair."""
+        return [
+            timing_error(inst.estimated_time, truth.occurrence_time)
+            for inst, truth in self.pairs
+        ]
+
+    def localization_errors(self) -> list[float]:
+        """Distance error of each matched pair."""
+        return [
+            localization_error(
+                inst.estimated_location, truth.occurrence_location
+            )
+            for inst, truth in self.pairs
+        ]
+
+
+def match_detections(
+    detections: Sequence[EventInstance],
+    truths: Sequence[PhysicalEvent],
+    time_tolerance: int,
+    space_tolerance: float = float("inf"),
+) -> MatchResult:
+    """Greedy one-to-one matching of detections to ground-truth events.
+
+    Detections are considered in generation order; each claims the
+    nearest-in-time unclaimed truth event within both tolerances.
+    Duplicate detections of an already-claimed truth are *not* counted
+    as false alarms (they are redundant confirmations, the normal case
+    with many motes seeing one event) — they simply do not add pairs.
+
+    Args:
+        detections: Emitted event instances.
+        truths: Ground-truth physical events.
+        time_tolerance: Maximum tick distance between estimated and true
+            occurrence (0 forces overlap for intervals).
+        space_tolerance: Maximum distance between estimated and true
+            locations.
+    """
+    claimed: set[int] = set()
+    redundant: set[int] = set()
+    pairs: list[tuple[EventInstance, PhysicalEvent]] = []
+    false_alarms: list[EventInstance] = []
+    for detection in detections:
+        best_index: int | None = None
+        best_distance = time_tolerance + 1
+        matched_any = False
+        for index, truth in enumerate(truths):
+            t_dist = _time_distance(
+                detection.estimated_time, truth.occurrence_time
+            )
+            if t_dist > time_tolerance:
+                continue
+            s_dist = localization_error(
+                detection.estimated_location, truth.occurrence_location
+            )
+            if s_dist > space_tolerance:
+                continue
+            matched_any = True
+            if index not in claimed and t_dist < best_distance:
+                best_index = index
+                best_distance = t_dist
+        if best_index is not None:
+            claimed.add(best_index)
+            pairs.append((detection, truths[best_index]))
+        elif matched_any:
+            redundant.add(id(detection))
+        else:
+            false_alarms.append(detection)
+    missed = tuple(
+        truth for index, truth in enumerate(truths) if index not in claimed
+    )
+    return MatchResult(tuple(pairs), missed, tuple(false_alarms))
+
+
+def precision_recall(
+    detections: Sequence[EventInstance],
+    truths: Sequence[PhysicalEvent],
+    time_tolerance: int,
+    space_tolerance: float = float("inf"),
+) -> tuple[float, float, float]:
+    """Shortcut returning ``(precision, recall, f1)``."""
+    result = match_detections(
+        detections, truths, time_tolerance, space_tolerance
+    )
+    return result.precision, result.recall, result.f1
+
+
+def interval_iou(a: TimeInterval, b: TimeInterval) -> float:
+    """Intersection-over-union of two closed intervals (tick counts).
+
+    Uses inclusive tick counts (a degenerate interval has measure 1) so
+    identical point intervals score 1.0.
+    """
+    overlap = intersect(a, b)
+    if overlap is None:
+        return 0.0
+    inter = overlap.duration + 1
+    union = a.duration + b.duration + 2 - inter
+    return inter / union if union > 0 else 0.0
+
+
+def region_iou(a: Field, b: Field, resolution: int = 40) -> float:
+    """Grid-sampled intersection-over-union of two fields.
+
+    Samples a ``resolution`` x ``resolution`` grid over the union of the
+    bounding boxes; adequate for scoring detected fire fronts against
+    true burning regions.
+    """
+    box_a, box_b = a.bounding_box(), b.bounding_box()
+    min_x = min(box_a.min_x, box_b.min_x)
+    min_y = min(box_a.min_y, box_b.min_y)
+    max_x = max(box_a.max_x, box_b.max_x)
+    max_y = max(box_a.max_y, box_b.max_y)
+    if max_x <= min_x or max_y <= min_y:
+        return 0.0
+    inter = union = 0
+    for i in range(resolution):
+        for j in range(resolution):
+            point = PointLocation(
+                min_x + (i + 0.5) * (max_x - min_x) / resolution,
+                min_y + (j + 0.5) * (max_y - min_y) / resolution,
+            )
+            in_a = a.contains_point(point)
+            in_b = b.contains_point(point)
+            if in_a and in_b:
+                inter += 1
+            if in_a or in_b:
+                union += 1
+    return inter / union if union else 0.0

@@ -1,0 +1,31 @@
+"""Wireless sensor/actor network substrate (refs [19][20] of the paper)."""
+
+from repro.network.fabric import DutyCycleMac, WiredBackbone, WirelessNetwork
+from repro.network.link import HopOutcome, LinkModel
+from repro.network.packet import Packet, PacketKind
+from repro.network.radio import LogDistanceRadio, RadioModel, UnitDiskRadio
+from repro.network.routing import RoutingTree
+from repro.network.topology import (
+    Topology,
+    cluster_topology,
+    grid_topology,
+    random_topology,
+)
+
+__all__ = [
+    "Packet",
+    "PacketKind",
+    "RadioModel",
+    "UnitDiskRadio",
+    "LogDistanceRadio",
+    "Topology",
+    "grid_topology",
+    "random_topology",
+    "cluster_topology",
+    "LinkModel",
+    "HopOutcome",
+    "RoutingTree",
+    "WirelessNetwork",
+    "WiredBackbone",
+    "DutyCycleMac",
+]

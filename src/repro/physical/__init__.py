@@ -1,0 +1,51 @@
+"""Physical-world substrate: phenomena, objects, mobility, ground truth."""
+
+from repro.physical.fields import (
+    CompositeField,
+    DiffusionGridField,
+    GaussianPlumeField,
+    PlumeSource,
+    ScalarField,
+    UniformField,
+)
+from repro.physical.fire import CellState, FireModel, FireTemperatureField
+from repro.physical.ground_truth import (
+    exceedance_region,
+    intervals_from_predicate,
+    make_physical_event,
+    proximity_intervals,
+    threshold_intervals,
+)
+from repro.physical.mobility import (
+    PatrolTrajectory,
+    RandomWalk,
+    StaticPosition,
+    Trajectory,
+    WaypointTrajectory,
+)
+from repro.physical.objects import PhysicalObject
+from repro.physical.world import PhysicalWorld
+
+__all__ = [
+    "ScalarField",
+    "UniformField",
+    "PlumeSource",
+    "GaussianPlumeField",
+    "DiffusionGridField",
+    "CompositeField",
+    "FireModel",
+    "FireTemperatureField",
+    "CellState",
+    "Trajectory",
+    "StaticPosition",
+    "WaypointTrajectory",
+    "RandomWalk",
+    "PatrolTrajectory",
+    "PhysicalObject",
+    "PhysicalWorld",
+    "proximity_intervals",
+    "threshold_intervals",
+    "exceedance_region",
+    "make_physical_event",
+    "intervals_from_predicate",
+]

@@ -1,0 +1,257 @@
+"""Cellular-automaton forest-fire model and its temperature coupling.
+
+The paper's canonical *field event* is "a physical phenomena, which
+occurs in an area, e.g., a forest fire" (Section 4.2).  This module
+supplies that phenomenon: a stochastic cellular automaton in which
+burning cells ignite their neighbours, plus a :class:`ScalarField`
+adapter that turns the burning cell set into a temperature field the
+sensor motes can sample.  The burning region at any tick is available
+as ground truth for scoring detected field events.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random
+
+from repro.core.errors import ReproError
+from repro.core.space_model import (
+    BoundingBox,
+    PointLocation,
+    Polygon,
+    convex_hull,
+)
+from repro.physical.fields import ScalarField
+
+__all__ = ["CellState", "FireModel", "FireTemperatureField"]
+
+
+class CellState(enum.Enum):
+    """Lifecycle of one fire-model cell."""
+
+    UNBURNED = "unburned"
+    BURNING = "burning"
+    BURNED = "burned"
+
+
+class FireModel:
+    """Probabilistic fire spread on a regular grid.
+
+    Each :meth:`step`, every burning cell attempts to ignite each of its
+    four von-Neumann neighbours with probability ``spread_probability``;
+    a cell burns for ``burn_duration`` ticks and then becomes
+    ``BURNED``.  The model is deterministic given its random stream.
+
+    Args:
+        bounds: Spatial extent of the grid.
+        nx: Cells along x.
+        ny: Cells along y.
+        spread_probability: Per-step, per-neighbour ignition chance.
+        burn_duration: Ticks a cell stays burning.
+        rng: Dedicated random stream.
+    """
+
+    def __init__(
+        self,
+        bounds: BoundingBox,
+        nx: int,
+        ny: int,
+        spread_probability: float,
+        burn_duration: int,
+        rng: random.Random,
+    ):
+        if nx < 1 or ny < 1:
+            raise ReproError("fire grid needs at least one cell")
+        if not 0.0 <= spread_probability <= 1.0:
+            raise ReproError(f"spread probability {spread_probability} not in [0,1]")
+        if burn_duration < 1:
+            raise ReproError("burn duration must be at least one tick")
+        self.bounds = bounds
+        self.nx = nx
+        self.ny = ny
+        self.spread_probability = spread_probability
+        self.burn_duration = burn_duration
+        self._rng = rng
+        self._state = {
+            (i, j): CellState.UNBURNED for i in range(nx) for j in range(ny)
+        }
+        self._ignited_at: dict[tuple[int, int], int] = {}
+        self._last_step = -1
+
+    # -- geometry ------------------------------------------------------
+
+    def cell_of(self, location: PointLocation) -> tuple[int, int]:
+        """Grid cell containing a location (clamped to the grid)."""
+        fx = (location.x - self.bounds.min_x) / max(self.bounds.width, 1e-12)
+        fy = (location.y - self.bounds.min_y) / max(self.bounds.height, 1e-12)
+        return (
+            min(self.nx - 1, max(0, int(fx * self.nx))),
+            min(self.ny - 1, max(0, int(fy * self.ny))),
+        )
+
+    def cell_center(self, cell: tuple[int, int]) -> PointLocation:
+        """Center coordinates of a grid cell."""
+        i, j = cell
+        return PointLocation(
+            self.bounds.min_x + (i + 0.5) * self.bounds.width / self.nx,
+            self.bounds.min_y + (j + 0.5) * self.bounds.height / self.ny,
+        )
+
+    # -- dynamics ------------------------------------------------------
+
+    def ignite(self, location: PointLocation, tick: int) -> None:
+        """Start a fire in the cell containing ``location``."""
+        cell = self.cell_of(location)
+        if self._state[cell] is CellState.UNBURNED:
+            self._state[cell] = CellState.BURNING
+            self._ignited_at[cell] = tick
+
+    def step(self, tick: int) -> None:
+        """Advance spread and burn-out by one step (idempotent per tick)."""
+        if tick <= self._last_step:
+            return
+        self._last_step = tick
+        burning = [
+            cell
+            for cell, state in self._state.items()
+            if state is CellState.BURNING
+        ]
+        for cell in burning:
+            if tick - self._ignited_at[cell] >= self.burn_duration:
+                self._state[cell] = CellState.BURNED
+                continue
+            i, j = cell
+            for ni, nj in ((i + 1, j), (i - 1, j), (i, j + 1), (i, j - 1)):
+                if not (0 <= ni < self.nx and 0 <= nj < self.ny):
+                    continue
+                neighbour = (ni, nj)
+                if self._state[neighbour] is not CellState.UNBURNED:
+                    continue
+                if self._rng.random() < self.spread_probability:
+                    self._state[neighbour] = CellState.BURNING
+                    self._ignited_at[neighbour] = tick
+
+    # -- queries -------------------------------------------------------
+
+    def state_of(self, cell: tuple[int, int]) -> CellState:
+        """Current state of a grid cell."""
+        return self._state[cell]
+
+    def burning_cells(self) -> list[tuple[int, int]]:
+        """All currently burning cells."""
+        return [
+            cell
+            for cell, state in self._state.items()
+            if state is CellState.BURNING
+        ]
+
+    def burning_points(self) -> list[PointLocation]:
+        """Centers of all burning cells."""
+        return [self.cell_center(cell) for cell in self.burning_cells()]
+
+    def burning_region(self) -> Polygon | None:
+        """Convex hull of the burning area, or ``None`` if too small.
+
+        The paper notes a field occurrence "is made of at least 2 or
+        more point events"; a hull needs at least three non-collinear
+        cells, below which ``None`` is returned.
+        """
+        points = self.burning_points()
+        if len(points) < 3:
+            return None
+        hull_pts = convex_hull(points)
+        if len(hull_pts) < 3:
+            return None
+        return Polygon(hull_pts)
+
+    def is_burning_at(self, location: PointLocation) -> bool:
+        """Whether the cell containing ``location`` is burning."""
+        return self._state[self.cell_of(location)] is CellState.BURNING
+
+    def affected_region(self) -> Polygon | None:
+        """Convex hull of every cell the fire has ever reached.
+
+        The cumulative ground truth for "where did the fire occur" —
+        unlike :meth:`burning_region` it does not shrink as cells burn
+        out, so it remains valid after the fire dies down.
+        """
+        points = [
+            self.cell_center(cell)
+            for cell, state in self._state.items()
+            if state is not CellState.UNBURNED
+        ]
+        if len(points) < 3:
+            return None
+        hull_pts = convex_hull(points)
+        if len(hull_pts) < 3:
+            return None
+        return Polygon(hull_pts)
+
+    def suppress(self, factor: float = 0.0, extinguish: bool = False) -> None:
+        """Firefighting intervention (the actuation side of the loop).
+
+        Args:
+            factor: Multiplier applied to the spread probability
+                (0 stops further spread entirely).
+            extinguish: Also force currently burning cells to burned.
+        """
+        if factor < 0:
+            raise ReproError(f"negative suppression factor {factor}")
+        self.spread_probability *= factor
+        if extinguish:
+            for cell in self.burning_cells():
+                self._state[cell] = CellState.BURNED
+
+    @property
+    def burned_fraction(self) -> float:
+        """Fraction of cells burned or burning."""
+        affected = sum(
+            1
+            for state in self._state.values()
+            if state is not CellState.UNBURNED
+        )
+        return affected / (self.nx * self.ny)
+
+
+class FireTemperatureField(ScalarField):
+    """Temperature field induced by a :class:`FireModel`.
+
+    Each burning cell contributes a Gaussian bump of height ``peak``
+    and width ``sigma`` around its center on top of ``ambient``.
+    Contributions beyond ``3 * sigma`` are skipped for speed.
+
+    Args:
+        fire: The fire model to couple to.
+        ambient: Background temperature.
+        peak: Per-cell peak contribution.
+        sigma: Gaussian decay length.
+    """
+
+    def __init__(
+        self,
+        fire: FireModel,
+        ambient: float = 20.0,
+        peak: float = 400.0,
+        sigma: float = 5.0,
+    ):
+        if sigma <= 0:
+            raise ReproError("sigma must be positive")
+        self.fire = fire
+        self.ambient = ambient
+        self.peak = peak
+        self.sigma = sigma
+
+    def value_at(self, location: PointLocation, tick: int) -> float:
+        cutoff = 3.0 * self.sigma
+        two_sigma_sq = 2.0 * self.sigma * self.sigma
+        total = self.ambient
+        for point in self.fire.burning_points():
+            distance = point.distance_to(location)
+            if distance > cutoff:
+                continue
+            total += self.peak * math.exp(-(distance * distance) / two_sigma_sq)
+        return total
+
+    def step(self, tick: int) -> None:
+        self.fire.step(tick)

@@ -1,0 +1,154 @@
+"""Ground-truth physical event extraction.
+
+Detection quality can only be scored against what *really* happened.
+These helpers scan the (noise-free) physical world and materialize the
+paper's physical events (Eq. 5.1) exactly:
+
+* :func:`proximity_intervals` — when was object A within ``radius`` of
+  object B? (the "user A is nearby window B" example, both punctual
+  enter events and the full interval);
+* :func:`threshold_intervals` — when did a phenomenon exceed a
+  threshold at a location? (sensor-event ground truth);
+* :func:`exceedance_region` — where did a phenomenon exceed a threshold
+  at a tick? (field-event ground truth, e.g. the true fire front);
+* :func:`make_physical_event` — package any of the above as a
+  :class:`~repro.core.event.PhysicalEvent`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.core.event import PhysicalEvent
+from repro.core.space_model import (
+    BoundingBox,
+    PointLocation,
+    Polygon,
+    SpatialEntity,
+    convex_hull,
+)
+from repro.core.time_model import TemporalEntity, TimeInterval, TimePoint
+from repro.physical.fields import ScalarField
+from repro.physical.objects import PhysicalObject
+
+__all__ = [
+    "proximity_intervals",
+    "threshold_intervals",
+    "exceedance_region",
+    "make_physical_event",
+    "intervals_from_predicate",
+]
+
+
+def intervals_from_predicate(
+    predicate: Callable[[int], bool], start: int, end: int
+) -> list[TimeInterval]:
+    """Maximal closed intervals of ticks in ``[start, end]`` where
+    ``predicate(tick)`` holds.
+
+    An interval still true at ``end`` is closed at ``end`` (the scan
+    horizon), matching how an observer would treat a still-ongoing
+    condition at the end of an experiment.
+    """
+    intervals: list[TimeInterval] = []
+    run_start: int | None = None
+    for tick in range(start, end + 1):
+        holds = predicate(tick)
+        if holds and run_start is None:
+            run_start = tick
+        elif not holds and run_start is not None:
+            intervals.append(TimeInterval(TimePoint(run_start), TimePoint(tick - 1)))
+            run_start = None
+    if run_start is not None:
+        intervals.append(TimeInterval(TimePoint(run_start), TimePoint(end)))
+    return intervals
+
+
+def proximity_intervals(
+    a: PhysicalObject,
+    b: PhysicalObject,
+    radius: float,
+    start: int,
+    end: int,
+) -> list[TimeInterval]:
+    """When object ``a`` was within ``radius`` of object ``b``.
+
+    Returns maximal intervals; a punctual "enter" ground truth is each
+    interval's start point.
+    """
+    return intervals_from_predicate(
+        lambda tick: a.distance_to(b, tick) <= radius, start, end
+    )
+
+
+def threshold_intervals(
+    field: ScalarField,
+    location: PointLocation,
+    threshold: float,
+    start: int,
+    end: int,
+) -> list[TimeInterval]:
+    """When the field value at ``location`` was >= ``threshold``.
+
+    Note: fields with internal dynamics must already have been stepped
+    over the scan range (i.e. call this after the simulation ran) —
+    static and closed-form fields can be scanned at any time.
+    """
+    return intervals_from_predicate(
+        lambda tick: field.value_at(location, tick) >= threshold, start, end
+    )
+
+
+def exceedance_region(
+    field: ScalarField,
+    bounds: BoundingBox,
+    threshold: float,
+    tick: int,
+    resolution: int = 20,
+) -> Polygon | None:
+    """Convex hull of grid points where the field exceeds ``threshold``.
+
+    Args:
+        field: The phenomenon to scan (at its current internal state).
+        bounds: Area to scan.
+        threshold: Exceedance level.
+        tick: Tick passed through to the field.
+        resolution: Grid points per axis.
+
+    Returns:
+        The hull polygon, or ``None`` when fewer than three
+        non-collinear points exceed the threshold (the paper requires a
+        field occurrence to comprise at least two point events; we only
+        form a polygon once a hull exists).
+    """
+    hot: list[PointLocation] = []
+    for i in range(resolution):
+        for j in range(resolution):
+            point = PointLocation(
+                bounds.min_x + (i + 0.5) * bounds.width / resolution,
+                bounds.min_y + (j + 0.5) * bounds.height / resolution,
+            )
+            if field.value_at(point, tick) >= threshold:
+                hot.append(point)
+    if len(hot) < 3:
+        return None
+    hull = convex_hull(hot)
+    if len(hull) < 3:
+        return None
+    return Polygon(hull)
+
+
+def make_physical_event(
+    kind: str,
+    when: TemporalEntity,
+    where: SpatialEntity,
+    attributes: Mapping[str, object] | None = None,
+) -> PhysicalEvent:
+    """Package a ground-truth occurrence as a :class:`PhysicalEvent`."""
+    return PhysicalEvent(
+        kind=kind,
+        event_id=PhysicalEvent.fresh_id(),
+        occurrence_time=when,
+        occurrence_location=where,
+        attributes=dict(attributes or {}),
+    )

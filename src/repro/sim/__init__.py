@@ -1,0 +1,22 @@
+"""Discrete-event simulation substrate (kernel, RNG streams, tracing)."""
+
+from repro.sim.kernel import (
+    PRIORITY_DEFAULT,
+    PRIORITY_NETWORK,
+    EventHandle,
+    Simulator,
+)
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceRecord, TraceRecorder, percentile, summarize
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "PRIORITY_NETWORK",
+    "PRIORITY_DEFAULT",
+    "RngStreams",
+    "TraceRecord",
+    "TraceRecorder",
+    "summarize",
+    "percentile",
+]

@@ -1,0 +1,265 @@
+"""Deterministic discrete-event simulation kernel.
+
+The paper's architecture is hardware (motes, sinks, CCUs, radios); this
+kernel is the substitution that lets the whole system run on a laptop:
+a classic event-queue simulator over the discrete time model of
+Section 4.  Every dynamic component (sampling loops, packet delivery,
+condition evaluation, actuation) is a callback scheduled at an integer
+tick; runs are fully deterministic given a seed, which the test suite
+and the benchmark harness rely on.
+
+Design notes:
+
+* Ties are broken by (priority, insertion order), so two callbacks at
+  the same tick run in a well-defined order — network deliveries default
+  to a higher priority (lower number) than sampling so a mote sees all
+  packets for tick *t* before its own tick-*t* sensing.
+* Handles returned by :meth:`Simulator.schedule` support cancellation;
+  cancelled entries are dropped lazily when popped.
+* :meth:`Simulator.every` installs a periodic process; the callback may
+  return ``False`` to stop rescheduling itself.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.errors import SchedulingError, SimulationError
+from repro.core.time_model import TimePoint
+
+__all__ = ["Simulator", "EventHandle", "PRIORITY_NETWORK", "PRIORITY_DEFAULT"]
+
+PRIORITY_NETWORK = 0
+"""Queue priority for packet deliveries (run first within a tick)."""
+
+PRIORITY_DEFAULT = 10
+"""Queue priority for ordinary scheduled work."""
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    tick: int
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Cancellation handle for a scheduled callback."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _QueueEntry):
+        self._entry = entry
+
+    @property
+    def tick(self) -> int:
+        """Tick the callback is scheduled for."""
+        return self._entry.tick
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._entry.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self._entry.cancelled = True
+
+
+class Simulator:
+    """Discrete-event simulator with a deterministic run loop.
+
+    Args:
+        seed: Seed for the simulator's random streams (see
+            :class:`repro.sim.rng.RngStreams`); recorded for traceability.
+    """
+
+    def __init__(self, seed: int = 0):
+        from repro.sim.rng import RngStreams  # local import avoids a cycle
+
+        self.seed = seed
+        self.rng = RngStreams(seed)
+        self._queue: list[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._tick = 0
+        self._running = False
+        self._stopped = False
+        self._processed = 0
+
+    # -- time --------------------------------------------------------
+
+    @property
+    def now(self) -> TimePoint:
+        """Current simulation time as a :class:`TimePoint`."""
+        return TimePoint(self._tick)
+
+    @property
+    def tick(self) -> int:
+        """Current simulation time as a raw tick count."""
+        return self._tick
+
+    @property
+    def events_processed(self) -> int:
+        """Number of callbacks executed so far."""
+        return self._processed
+
+    # -- scheduling --------------------------------------------------
+
+    def schedule(
+        self,
+        delay: int,
+        callback: Callable[[], None],
+        priority: int = PRIORITY_DEFAULT,
+    ) -> EventHandle:
+        """Run ``callback`` ``delay`` ticks from now.
+
+        Args:
+            delay: Non-negative tick offset (0 = later this tick).
+            callback: Zero-argument callable.
+            priority: Within-tick ordering; lower runs first.
+
+        Raises:
+            SchedulingError: If ``delay`` is negative.
+        """
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule {delay} ticks in the past")
+        return self.schedule_at(self._tick + delay, callback, priority)
+
+    def schedule_at(
+        self,
+        tick: int,
+        callback: Callable[[], None],
+        priority: int = PRIORITY_DEFAULT,
+    ) -> EventHandle:
+        """Run ``callback`` at absolute ``tick`` (must not be in the past)."""
+        if tick < self._tick:
+            raise SchedulingError(
+                f"cannot schedule at tick {tick}; current tick is {self._tick}"
+            )
+        entry = _QueueEntry(tick, priority, next(self._seq), callback)
+        heapq.heappush(self._queue, entry)
+        return EventHandle(entry)
+
+    def every(
+        self,
+        period: int,
+        callback: Callable[[], object],
+        start: int | None = None,
+        priority: int = PRIORITY_DEFAULT,
+    ) -> EventHandle:
+        """Install a periodic process firing every ``period`` ticks.
+
+        Args:
+            period: Positive tick period.
+            callback: Called each firing; returning ``False`` (exactly)
+                stops the process.
+            start: Absolute tick of the first firing (defaults to
+                ``now + period``).
+            priority: Within-tick ordering.
+
+        Returns:
+            Handle for the *next* pending firing; cancelling it stops
+            the whole process.
+        """
+        if period <= 0:
+            raise SchedulingError(f"period must be positive, got {period}")
+        first = self._tick + period if start is None else start
+        # A one-element list lets the closure rebind the live entry so
+        # the same handle keeps controlling future firings.
+        cell: list[_QueueEntry] = []
+
+        def fire() -> None:
+            result = callback()
+            if result is False or cell[0].cancelled:
+                return
+            entry = _QueueEntry(
+                self._tick + period, priority, next(self._seq), fire
+            )
+            cell[0] = entry
+            heapq.heappush(self._queue, entry)
+
+        entry = _QueueEntry(first, priority, next(self._seq), fire)
+        cell.append(entry)
+        heapq.heappush(self._queue, entry)
+
+        handle = EventHandle(entry)
+        # Rebind the handle's entry view lazily through the cell.
+        handle._entry = entry
+
+        class _PeriodicHandle(EventHandle):
+            __slots__ = ()
+
+            @property
+            def tick(self_inner) -> int:  # noqa: N805
+                return cell[0].tick
+
+            @property
+            def cancelled(self_inner) -> bool:  # noqa: N805
+                return cell[0].cancelled
+
+            def cancel(self_inner) -> None:  # noqa: N805
+                cell[0].cancelled = True
+
+        return _PeriodicHandle(cell[0])
+
+    # -- run loop ----------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next pending callback.
+
+        Returns:
+            ``True`` if a callback ran, ``False`` if the queue is empty.
+        """
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.cancelled:
+                continue
+            if entry.tick < self._tick:
+                raise SimulationError("queue yielded an entry from the past")
+            self._tick = entry.tick
+            self._processed += 1
+            entry.callback()
+            return True
+        return False
+
+    def run(self, until: int | None = None) -> int:
+        """Run until the queue drains, ``until`` is reached, or stopped.
+
+        Args:
+            until: Inclusive tick bound; callbacks scheduled later stay
+                queued (resumable).
+
+        Returns:
+            The tick at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("run() called re-entrantly")
+        self._running = True
+        self._stopped = False
+        try:
+            while self._queue and not self._stopped:
+                next_tick = self._queue[0].tick
+                if until is not None and next_tick > until:
+                    self._tick = until
+                    break
+                self.step()
+            else:
+                if until is not None and self._tick < until:
+                    self._tick = until
+        finally:
+            self._running = False
+        return self._tick
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the active callback."""
+        self._stopped = True
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) entries."""
+        return sum(1 for entry in self._queue if not entry.cancelled)

@@ -1,0 +1,114 @@
+"""Simulation tracing and summary statistics.
+
+Every CPS component can publish :class:`TraceRecord` rows to a shared
+:class:`TraceRecorder`; the benchmark harness and the EDL analysis read
+them back with simple filters.  Records are plain data (tick, category,
+source, payload) so traces can be asserted on in tests and dumped for
+inspection without any custom tooling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping
+
+__all__ = ["TraceRecord", "TraceRecorder", "summarize", "percentile"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence inside the simulation."""
+
+    tick: int
+    category: str
+    source: str
+    payload: Mapping[str, object] = field(default_factory=dict)
+
+    def value(self, key: str, default: object = None) -> object:
+        """One payload field."""
+        return self.payload.get(key, default)
+
+
+class TraceRecorder:
+    """Append-only in-memory trace with category filters and listeners."""
+
+    def __init__(self):
+        self._records: list[TraceRecord] = []
+        self._listeners: list[Callable[[TraceRecord], None]] = []
+
+    def record(
+        self,
+        tick: int,
+        category: str,
+        source: str,
+        **payload: object,
+    ) -> TraceRecord:
+        """Append a record and notify listeners."""
+        rec = TraceRecord(tick, category, source, dict(payload))
+        self._records.append(rec)
+        for listener in self._listeners:
+            listener(rec)
+        return rec
+
+    def subscribe(self, listener: Callable[[TraceRecord], None]) -> None:
+        """Call ``listener`` for every future record."""
+        self._listeners.append(listener)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def by_category(self, category: str) -> list[TraceRecord]:
+        """All records with the given category, in time order."""
+        return [r for r in self._records if r.category == category]
+
+    def by_source(self, source: str) -> list[TraceRecord]:
+        """All records from the given source, in time order."""
+        return [r for r in self._records if r.source == source]
+
+    def count(self, category: str | None = None) -> int:
+        """Number of records (optionally of one category)."""
+        if category is None:
+            return len(self._records)
+        return sum(1 for r in self._records if r.category == category)
+
+    def clear(self) -> None:
+        """Drop all records (listeners stay subscribed)."""
+        self._records.clear()
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by linear interpolation."""
+    data = sorted(values)
+    if not data:
+        raise ValueError("percentile of no values")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    if len(data) == 1:
+        return data[0]
+    rank = (len(data) - 1) * q / 100.0
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return data[low]
+    frac = rank - low
+    return data[low] * (1 - frac) + data[high] * frac
+
+
+def summarize(values: Iterable[float]) -> dict[str, float]:
+    """Mean / min / max / p50 / p95 / p99 summary of a sample."""
+    data = sorted(values)
+    if not data:
+        return {"count": 0.0}
+    return {
+        "count": float(len(data)),
+        "mean": sum(data) / len(data),
+        "min": data[0],
+        "max": data[-1],
+        "p50": percentile(data, 50),
+        "p95": percentile(data, 95),
+        "p99": percentile(data, 99),
+    }

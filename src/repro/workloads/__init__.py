@@ -1,0 +1,23 @@
+"""Workloads: scenario builders and synthetic entity generators."""
+
+from repro.workloads.generators import (
+    burst_observations,
+    poisson_ticks,
+    synthetic_observations,
+)
+from repro.workloads.scenarios import (
+    Scenario,
+    build_forest_fire,
+    build_intrusion,
+    build_smart_building,
+)
+
+__all__ = [
+    "Scenario",
+    "build_smart_building",
+    "build_forest_fire",
+    "build_intrusion",
+    "poisson_ticks",
+    "synthetic_observations",
+    "burst_observations",
+]

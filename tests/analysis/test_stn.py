@@ -1,0 +1,123 @@
+"""Unit tests for the Simple Temporal Network formal analysis."""
+
+import math
+
+import pytest
+
+from repro.analysis.stn import SimpleTemporalNetwork
+from repro.core.errors import AnalysisError
+
+
+class TestConsistency:
+    def test_empty_network_consistent(self):
+        assert SimpleTemporalNetwork().consistent()
+
+    def test_consistent_chain(self):
+        stn = SimpleTemporalNetwork()
+        stn.add_constraint("a", "b", 1, 5)
+        stn.add_constraint("b", "c", 2, 4)
+        assert stn.consistent()
+
+    def test_contradictory_constraints_detected(self):
+        stn = SimpleTemporalNetwork()
+        stn.add_constraint("a", "b", min_delay=10)      # b at least 10 after a
+        stn.add_constraint("a", "b", max_delay=5)       # ... but at most 5
+        assert not stn.consistent()
+
+    def test_negative_cycle_detected(self):
+        stn = SimpleTemporalNetwork()
+        stn.before("a", "b", min_gap=1)
+        stn.before("b", "c", min_gap=1)
+        stn.before("c", "a", min_gap=1)   # a before b before c before a
+        assert not stn.consistent()
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(AnalysisError):
+            SimpleTemporalNetwork().add_constraint("a", "b", 5, 2)
+
+
+class TestImpliedBounds:
+    def test_transitive_composition(self):
+        stn = SimpleTemporalNetwork()
+        stn.add_constraint("a", "b", 1, 5)
+        stn.add_constraint("b", "c", 2, 4)
+        low, high = stn.implied_bounds("a", "c")
+        assert low == 3      # 1 + 2
+        assert high == 9     # 5 + 4
+
+    def test_tightening_through_alternate_path(self):
+        stn = SimpleTemporalNetwork()
+        stn.add_constraint("a", "b", 0, 10)
+        stn.add_constraint("a", "c", 0, 3)
+        stn.add_constraint("c", "b", 0, 3)
+        low, high = stn.implied_bounds("a", "b")
+        assert high == 6     # the a->c->b path tightens the direct bound
+
+    def test_unconstrained_pair_infinite(self):
+        stn = SimpleTemporalNetwork()
+        stn.add_event("a")
+        stn.add_event("b")
+        low, high = stn.implied_bounds("a", "b")
+        assert low == -math.inf and high == math.inf
+
+    def test_inconsistent_network_raises(self):
+        stn = SimpleTemporalNetwork()
+        stn.add_constraint("a", "b", min_delay=10, max_delay=10)
+        stn.add_constraint("b", "a", min_delay=10, max_delay=10)
+        with pytest.raises(AnalysisError):
+            stn.implied_bounds("a", "b")
+
+    def test_unknown_event_raises(self):
+        stn = SimpleTemporalNetwork()
+        stn.add_constraint("a", "b", 0, 1)
+        with pytest.raises(AnalysisError):
+            stn.implied_bounds("a", "ghost")
+
+
+class TestSchedules:
+    def make_pipeline(self):
+        # The paper's detection pipeline as an STN: occurrence -> sensor
+        # event -> cyber-physical event -> cyber event -> actuation.
+        stn = SimpleTemporalNetwork()
+        stn.add_constraint("occur", "sensor", 0, 10)
+        stn.add_constraint("sensor", "cp", 1, 6)
+        stn.add_constraint("cp", "cyber", 1, 3)
+        stn.add_constraint("cyber", "act", 2, 5)
+        return stn
+
+    def test_earliest_schedule(self):
+        schedule = self.make_pipeline().earliest_schedule("occur")
+        assert schedule["occur"] == 0
+        assert schedule["sensor"] == 0
+        assert schedule["cp"] == 1
+        assert schedule["cyber"] == 2
+        assert schedule["act"] == 4
+
+    def test_latest_schedule(self):
+        schedule = self.make_pipeline().latest_schedule("occur")
+        assert schedule["act"] == 24    # 10 + 6 + 3 + 5
+
+    def test_deadline_composition(self):
+        stn = self.make_pipeline()
+        stn.deadline("occur", "act", 15)   # end-to-end deadline
+        assert stn.consistent()
+        low, high = stn.implied_bounds("occur", "act")
+        assert high == 15
+        stn.deadline("occur", "act", 3)    # tighter than the minimum path
+        assert not stn.consistent()
+
+    def test_simultaneous_constraint(self):
+        stn = SimpleTemporalNetwork()
+        stn.simultaneous("a", "b", tolerance=2)
+        low, high = stn.implied_bounds("a", "b")
+        assert (low, high) == (-2, 2)
+
+    def test_schedule_unknown_anchor(self):
+        with pytest.raises(AnalysisError):
+            self.make_pipeline().earliest_schedule("ghost")
+
+    def test_schedule_unreachable_event(self):
+        stn = self.make_pipeline()
+        stn.add_event("floating")
+        with pytest.raises(AnalysisError):
+            stn.earliest_schedule("occur")

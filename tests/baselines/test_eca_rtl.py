@@ -1,0 +1,111 @@
+"""Unit tests for the ECA and RTL baseline engines."""
+
+import pytest
+
+from repro.baselines.eca import EcaEngine, EcaRule
+from repro.baselines.rtl import RtlConstraint, RtlMonitor
+from repro.core.errors import ConditionError
+from repro.core.instance import PhysicalObservation
+from repro.core.operators import RelationalOp
+from repro.core.space_model import PointLocation
+from repro.core.time_model import TimePoint
+
+
+def obs(value=60.0, tick=0):
+    return PhysicalObservation(
+        "MT1", "SR1", 0, TimePoint(tick), PointLocation(0, 0),
+        {"temperature": value},
+    )
+
+
+class TestEcaEngine:
+    def test_rule_fires_on_single_entity(self):
+        engine = EcaEngine([EcaRule("hot", "temperature", RelationalOp.GT, 50.0)])
+        triggers = engine.submit(obs(60.0), now=5)
+        assert len(triggers) == 1
+        assert triggers[0].rule_name == "hot"
+        assert triggers[0].time == TimePoint(5)
+
+    def test_rule_silent_below_threshold(self):
+        engine = EcaEngine([EcaRule("hot", "temperature", RelationalOp.GT, 50.0)])
+        assert engine.submit(obs(40.0), now=5) == []
+
+    def test_action_callback(self):
+        fired = []
+        rule = EcaRule(
+            "hot", "temperature", RelationalOp.GT, 50.0, action=fired.append
+        )
+        EcaEngine([rule]).submit(obs(60.0), now=1)
+        assert len(fired) == 1
+
+    def test_missing_attribute_is_non_match(self):
+        engine = EcaEngine([EcaRule("hot", "humidity", RelationalOp.GT, 0.0)])
+        assert engine.submit(obs(), now=0) == []
+
+    def test_fired_history(self):
+        engine = EcaEngine()
+        engine.add_rule(EcaRule("hot", "temperature", RelationalOp.GT, 50.0))
+        engine.submit(obs(60.0), now=0)
+        engine.submit(obs(70.0), now=1)
+        assert len(engine.fired("hot")) == 2
+        assert engine.fired("unknown") == []
+
+    def test_point_semantics_loses_occurrence_time(self):
+        # The defining ECA limitation: the trigger time is the processing
+        # tick, not the sampling tick carried by the observation.
+        engine = EcaEngine([EcaRule("hot", "temperature", RelationalOp.GT, 50.0)])
+        trigger = engine.submit(obs(60.0, tick=3), now=9)[0]
+        assert trigger.time == TimePoint(9)
+        assert trigger.entity.time == TimePoint(3)
+
+
+class TestRtlMonitor:
+    def test_satisfied_deadline(self):
+        # "act within 10 ticks of detect": @(act) - 10 <= @(detect).
+        monitor = RtlMonitor([RtlConstraint("deadline", "act", 0, "detect", 0, -10)])
+        monitor.observe("detect", 100)
+        outcomes = monitor.observe("act", 108)
+        assert len(outcomes) == 1
+        assert outcomes[0].satisfied
+        assert outcomes[0].slack == 2   # two ticks to spare
+
+    def test_violated_deadline(self):
+        monitor = RtlMonitor([RtlConstraint("deadline", "act", 0, "detect", 0, -10)])
+        monitor.observe("detect", 100)
+        outcomes = monitor.observe("act", 115)
+        assert not outcomes[0].satisfied
+        assert outcomes[0].slack == -5
+        assert monitor.violations == outcomes
+
+    def test_indexed_occurrences(self):
+        # @(e, 2) + 5 <= @(f, 0)
+        monitor = RtlMonitor([RtlConstraint("c", "e", 2, "f", 0, 5)])
+        for tick in (1, 2, 3):
+            monitor.observe("e", tick)
+        outcomes = monitor.observe("f", 9)
+        assert outcomes[0].satisfied          # 3 + 5 <= 9
+        assert outcomes[0].first_time == 3
+
+    def test_undecided_until_both_known(self):
+        monitor = RtlMonitor([RtlConstraint("c", "a", 0, "b", 0, 0)])
+        assert monitor.observe("a", 5) == []
+        assert monitor.undecided == ("c",)
+        monitor.observe("b", 5)
+        assert monitor.undecided == ()
+
+    def test_constraint_added_late_checks_history(self):
+        monitor = RtlMonitor()
+        monitor.observe("a", 1)
+        monitor.observe("b", 2)
+        monitor.add_constraint(RtlConstraint("c", "a", 0, "b", 0, 0))
+        assert len(monitor.outcomes) == 1
+
+    def test_out_of_order_occurrences_rejected(self):
+        monitor = RtlMonitor()
+        monitor.observe("a", 10)
+        with pytest.raises(ConditionError):
+            monitor.observe("a", 5)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConditionError):
+            RtlConstraint("c", "a", -1, "b", 0, 0)

@@ -1,0 +1,155 @@
+"""Unit tests for the Snoop (point semantics) baseline."""
+
+import pytest
+
+from repro.baselines.snoop import (
+    Conj,
+    Disj,
+    NotBetween,
+    Primitive,
+    Seq,
+    SnoopEngine,
+)
+from repro.core.errors import ConditionError
+from repro.core.time_model import TimePoint
+
+
+class TestPrimitive:
+    def test_matches_by_name(self):
+        engine = SnoopEngine(Primitive("a"))
+        assert len(engine.submit("a", 1)) == 1
+        assert engine.submit("b", 2) == []
+
+    def test_occurrence_time_is_detection_point(self):
+        engine = SnoopEngine(Primitive("a"))
+        occurrence = engine.submit("a", 7)[0]
+        assert occurrence.time == TimePoint(7)
+
+
+class TestSeq:
+    def test_detects_in_order(self):
+        engine = SnoopEngine(Seq(Primitive("a"), Primitive("b")))
+        engine.submit("a", 1)
+        completions = engine.submit("b", 5)
+        assert len(completions) == 1
+        assert completions[0].time == TimePoint(5)  # terminator's point
+
+    def test_rejects_wrong_order(self):
+        engine = SnoopEngine(Seq(Primitive("a"), Primitive("b")))
+        engine.submit("b", 1)
+        assert engine.submit("a", 5) == []
+
+    def test_simultaneous_not_a_sequence(self):
+        engine = SnoopEngine(Seq(Primitive("a"), Primitive("b")))
+        engine.submit("a", 5)
+        # b at the same point is not strictly after a.
+        assert engine.submit("b", 5) == []
+
+    def test_unrestricted_pairs_all_initiators(self):
+        engine = SnoopEngine(Seq(Primitive("a"), Primitive("b")))
+        engine.submit("a", 1)
+        engine.submit("a", 2)
+        assert len(engine.submit("b", 5)) == 2
+
+    def test_recent_context_uses_latest_initiator(self):
+        engine = SnoopEngine(
+            Seq(Primitive("a"), Primitive("b")), context="recent"
+        )
+        engine.submit("a", 1)
+        engine.submit("a", 2)
+        completions = engine.submit("b", 5)
+        assert len(completions) == 1
+        assert ("a", TimePoint(2)) in completions[0].constituents
+
+    def test_chronicle_context_consumes_oldest(self):
+        engine = SnoopEngine(
+            Seq(Primitive("a"), Primitive("b")), context="chronicle"
+        )
+        engine.submit("a", 1)
+        engine.submit("a", 2)
+        first = engine.submit("b", 5)
+        assert ("a", TimePoint(1)) in first[0].constituents
+        second = engine.submit("b", 6)
+        assert ("a", TimePoint(2)) in second[0].constituents
+        assert engine.submit("b", 7) == []  # both initiators consumed
+
+
+class TestConjDisj:
+    def test_conjunction_any_order(self):
+        engine = SnoopEngine(Conj(Primitive("a"), Primitive("b")))
+        engine.submit("b", 1)
+        completions = engine.submit("a", 4)
+        assert len(completions) == 1
+        assert completions[0].time == TimePoint(4)
+
+    def test_disjunction_both_sides(self):
+        engine = SnoopEngine(Disj(Primitive("a"), Primitive("b")))
+        assert len(engine.submit("a", 1)) == 1
+        assert len(engine.submit("b", 2)) == 1
+        assert engine.submit("c", 3) == []
+
+    def test_nested_expression(self):
+        # Seq(a, Or(b, c))
+        engine = SnoopEngine(
+            Seq(Primitive("a"), Disj(Primitive("b"), Primitive("c")))
+        )
+        engine.submit("a", 1)
+        assert len(engine.submit("c", 3)) == 1
+
+
+class TestNotBetween:
+    def engine(self, context="unrestricted"):
+        return SnoopEngine(
+            NotBetween(Primitive("l"), Primitive("n"), Primitive("r")),
+            context=context,
+        )
+
+    def test_fires_without_blocker(self):
+        engine = self.engine()
+        engine.submit("l", 1)
+        assert len(engine.submit("r", 5)) == 1
+
+    def test_blocked_by_non_event(self):
+        engine = self.engine()
+        engine.submit("l", 1)
+        engine.submit("n", 3)
+        assert engine.submit("r", 5) == []
+
+    def test_new_initiator_after_blocker(self):
+        engine = self.engine()
+        engine.submit("l", 1)
+        engine.submit("n", 2)
+        engine.submit("l", 3)
+        assert len(engine.submit("r", 5)) == 1
+
+
+class TestEngineHousekeeping:
+    def test_detections_accumulate(self):
+        engine = SnoopEngine(Primitive("a"))
+        engine.submit("a", 1)
+        engine.submit("a", 2)
+        assert len(engine.detections) == 2
+
+    def test_reset(self):
+        engine = SnoopEngine(Seq(Primitive("a"), Primitive("b")))
+        engine.submit("a", 1)
+        engine.reset()
+        assert engine.submit("b", 5) == []
+        assert engine.detections == []
+
+    def test_unknown_context_rejected(self):
+        with pytest.raises(ConditionError):
+            SnoopEngine(Primitive("a"), context="psychic")
+
+
+class TestPointSemanticsAnomaly:
+    def test_composite_time_collapses_to_terminator(self):
+        """The classic Snoop anomaly SnoopIB fixes: a composite spanning
+        [1, 9] is reported as occurring *at* 9, so a later point event at
+        5 appears to come 'before' the composite even though it happened
+        in the middle of it."""
+        engine = SnoopEngine(Seq(Primitive("a"), Primitive("b")))
+        engine.submit("a", 1)
+        composite = engine.submit("b", 9)[0]
+        middle = TimePoint(5)
+        assert middle < composite.time  # looks "before" — wrongly

@@ -1,0 +1,152 @@
+"""Unit tests for the four operator families (Definition 4.2)."""
+
+import pytest
+
+from repro.core.errors import ConditionError
+from repro.core.operators import LogicalOp, RelationalOp, SpatialOp, TemporalOp
+from repro.core.space_model import Circle, PointLocation, Polygon
+from repro.core.time_model import TimeInterval, TimePoint
+
+
+def iv(a, b):
+    return TimeInterval(TimePoint(a), TimePoint(b))
+
+
+def square(x0=0.0, y0=0.0, side=4.0):
+    return Polygon(
+        [
+            PointLocation(x0, y0),
+            PointLocation(x0 + side, y0),
+            PointLocation(x0 + side, y0 + side),
+            PointLocation(x0, y0 + side),
+        ]
+    )
+
+
+class TestRelationalOp:
+    @pytest.mark.parametrize(
+        "op, lhs, rhs, expected",
+        [
+            (RelationalOp.GT, 2.0, 1.0, True),
+            (RelationalOp.GT, 1.0, 1.0, False),
+            (RelationalOp.GE, 1.0, 1.0, True),
+            (RelationalOp.LT, 1.0, 2.0, True),
+            (RelationalOp.LE, 2.0, 2.0, True),
+            (RelationalOp.EQ, 3.0, 3.0, True),
+            (RelationalOp.NE, 3.0, 4.0, True),
+        ],
+    )
+    def test_truth_table(self, op, lhs, rhs, expected):
+        assert op.apply(lhs, rhs) is expected
+
+    def test_eq_is_float_tolerant(self):
+        assert RelationalOp.EQ.apply(0.1 + 0.2, 0.3)
+        assert not RelationalOp.NE.apply(0.1 + 0.2, 0.3)
+
+    def test_from_symbol(self):
+        assert RelationalOp.from_symbol(">=") is RelationalOp.GE
+        with pytest.raises(ConditionError):
+            RelationalOp.from_symbol("~")
+
+
+class TestTemporalOp:
+    def test_before_after_points(self):
+        assert TemporalOp.BEFORE.apply(TimePoint(1), TimePoint(2))
+        assert TemporalOp.AFTER.apply(TimePoint(2), TimePoint(1))
+        assert not TemporalOp.BEFORE.apply(TimePoint(2), TimePoint(2))
+
+    def test_paper_begin_end_operators(self):
+        interval = iv(10, 20)
+        assert TemporalOp.BEGINS.apply(TimePoint(10), interval)
+        assert TemporalOp.ENDS.apply(TimePoint(20), interval)
+        assert not TemporalOp.BEGINS.apply(TimePoint(11), interval)
+
+    def test_during_strict(self):
+        assert TemporalOp.DURING.apply(TimePoint(15), iv(10, 20))
+        assert not TemporalOp.DURING.apply(TimePoint(10), iv(10, 20))
+        assert TemporalOp.DURING.apply(iv(12, 14), iv(10, 20))
+
+    def test_within_includes_boundaries(self):
+        assert TemporalOp.WITHIN.apply(TimePoint(10), iv(10, 20))
+        assert TemporalOp.WITHIN.apply(TimePoint(20), iv(10, 20))
+        assert TemporalOp.WITHIN.apply(iv(10, 15), iv(10, 20))
+        assert not TemporalOp.WITHIN.apply(TimePoint(21), iv(10, 20))
+
+    def test_overlaps(self):
+        assert TemporalOp.OVERLAPS.apply(iv(1, 5), iv(3, 8))
+        assert TemporalOp.OVERLAPPED_BY.apply(iv(3, 8), iv(1, 5))
+        assert not TemporalOp.OVERLAPS.apply(iv(1, 2), iv(5, 8))
+
+    def test_intersects_excludes_only_disjoint(self):
+        assert TemporalOp.INTERSECTS.apply(iv(1, 4), iv(4, 8))   # touching
+        assert TemporalOp.INTERSECTS.apply(iv(1, 9), iv(3, 5))
+        assert not TemporalOp.INTERSECTS.apply(iv(1, 2), iv(5, 8))
+
+    def test_simultaneous_covers_equal_intervals(self):
+        assert TemporalOp.SIMULTANEOUS.apply(TimePoint(3), TimePoint(3))
+        assert TemporalOp.EQUALS.apply(iv(1, 5), iv(1, 5))
+
+    def test_admits_sets_are_disjoint_for_strict_ops(self):
+        strict = [
+            TemporalOp.BEFORE, TemporalOp.AFTER, TemporalOp.DURING,
+            TemporalOp.CONTAINS, TemporalOp.MEETS, TemporalOp.MET_BY,
+            TemporalOp.OVERLAPS, TemporalOp.OVERLAPPED_BY,
+        ]
+        for i, a in enumerate(strict):
+            for b in strict[i + 1:]:
+                assert not (a.admits & b.admits), f"{a} and {b} overlap"
+
+
+class TestSpatialOp:
+    def test_inside_outside_point_field(self):
+        region = square()
+        assert SpatialOp.INSIDE.apply(PointLocation(2, 2), region)
+        assert SpatialOp.OUTSIDE.apply(PointLocation(9, 9), region)
+        assert not SpatialOp.INSIDE.apply(PointLocation(9, 9), region)
+
+    def test_inside_field_field(self):
+        assert SpatialOp.INSIDE.apply(square(1, 1, 2), square(0, 0, 10))
+        assert SpatialOp.CONTAINS.apply(square(0, 0, 10), square(1, 1, 2))
+
+    def test_joint_includes_containment_and_equality(self):
+        assert SpatialOp.JOINT.apply(square(), square(2, 2))
+        assert SpatialOp.JOINT.apply(square(1, 1, 2), square(0, 0, 10))
+        assert SpatialOp.JOINT.apply(square(), square())
+
+    def test_disjoint(self):
+        assert SpatialOp.DISJOINT.apply(square(), square(10, 10))
+        assert SpatialOp.DISJOINT.apply(PointLocation(9, 9), square())
+        assert not SpatialOp.DISJOINT.apply(square(), square(2, 2))
+
+    def test_equal_to_points(self):
+        assert SpatialOp.EQUAL_TO.apply(PointLocation(1, 1), PointLocation(1, 1))
+        assert not SpatialOp.EQUAL_TO.apply(
+            PointLocation(1, 1), PointLocation(2, 2)
+        )
+
+    def test_outside_point_cases(self):
+        circle = Circle(PointLocation(0, 0), 2)
+        assert SpatialOp.OUTSIDE.apply(PointLocation(5, 5), circle)
+        assert SpatialOp.OUTSIDE.apply(PointLocation(1, 1), PointLocation(2, 2))
+
+
+class TestLogicalOp:
+    def test_and_or(self):
+        assert LogicalOp.AND.apply(True, True)
+        assert not LogicalOp.AND.apply(True, False)
+        assert LogicalOp.OR.apply(False, True)
+        assert not LogicalOp.OR.apply(False, False)
+
+    def test_not(self):
+        assert LogicalOp.NOT.apply(False)
+        assert not LogicalOp.NOT.apply(True)
+
+    def test_not_arity_enforced(self):
+        with pytest.raises(ConditionError):
+            LogicalOp.NOT.apply(True, False)
+
+    def test_empty_operands_rejected(self):
+        with pytest.raises(ConditionError):
+            LogicalOp.AND.apply()
+        with pytest.raises(ConditionError):
+            LogicalOp.OR.apply()

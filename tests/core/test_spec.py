@@ -1,0 +1,199 @@
+"""Unit tests for event specifications, selectors and output policies."""
+
+import pytest
+
+from repro.core.conditions import AttributeCondition, AttributeTerm
+from repro.core.errors import SpecificationError
+from repro.core.event import EventLayer
+from repro.core.instance import (
+    EventInstance,
+    ObserverId,
+    ObserverKind,
+    PhysicalObservation,
+)
+from repro.core.operators import RelationalOp
+from repro.core.space_model import Circle, PointLocation
+from repro.core.spec import (
+    EntitySelector,
+    EventSpecification,
+    OutputAttribute,
+    OutputPolicy,
+)
+from repro.core.time_model import TimePoint
+
+
+def obs(quantity="temperature", x=0.0, y=0.0):
+    return PhysicalObservation(
+        "MT1", "SR1", 0, TimePoint(1), PointLocation(x, y), {quantity: 42.0}
+    )
+
+
+def instance(event_id="hot", layer=EventLayer.SENSOR, rho=0.9, x=0.0, y=0.0):
+    return EventInstance(
+        observer=ObserverId(ObserverKind.SENSOR_MOTE, "MT1"),
+        event_id=event_id,
+        seq=0,
+        generated_time=TimePoint(2),
+        generated_location=PointLocation(x, y),
+        estimated_time=TimePoint(1),
+        estimated_location=PointLocation(x, y),
+        confidence=rho,
+        layer=layer,
+    )
+
+
+SIMPLE_CONDITION = AttributeCondition(
+    "last", (AttributeTerm("x", "temperature"),), RelationalOp.GT, 0.0
+)
+
+
+class TestEntitySelector:
+    def test_kind_matches_instance_event_id(self):
+        selector = EntitySelector(kinds={"hot"})
+        assert selector.matches(instance("hot"))
+        assert not selector.matches(instance("cold"))
+
+    def test_kind_matches_observation_attribute(self):
+        selector = EntitySelector(kinds={"temperature"})
+        assert selector.matches(obs("temperature"))
+        assert not selector.matches(obs("humidity"))
+
+    def test_layer_filter(self):
+        selector = EntitySelector(layers={EventLayer.CYBER_PHYSICAL})
+        assert selector.matches(instance(layer=EventLayer.CYBER_PHYSICAL))
+        assert not selector.matches(instance(layer=EventLayer.SENSOR))
+        assert not selector.matches(obs())  # observations are OBSERVATION layer
+
+    def test_region_filter_point(self):
+        selector = EntitySelector(region=Circle(PointLocation(0, 0), 5))
+        assert selector.matches(obs(x=1, y=1))
+        assert not selector.matches(obs(x=9, y=9))
+
+    def test_region_filter_field_entity_intersects(self):
+        selector = EntitySelector(region=Circle(PointLocation(0, 0), 5))
+        field_instance = EventInstance(
+            observer=ObserverId(ObserverKind.SINK_NODE, "S1"),
+            event_id="zone",
+            seq=0,
+            generated_time=TimePoint(1),
+            generated_location=PointLocation(0, 0),
+            estimated_time=TimePoint(1),
+            estimated_location=Circle(PointLocation(4, 0), 2),
+            layer=EventLayer.CYBER_PHYSICAL,
+        )
+        assert selector.matches(field_instance)
+
+    def test_confidence_filter(self):
+        selector = EntitySelector(min_confidence=0.5)
+        assert selector.matches(instance(rho=0.9))
+        assert not selector.matches(instance(rho=0.2))
+        assert selector.matches(obs())  # observations: confidence 1.0
+
+    def test_unconstrained_matches_everything(self):
+        selector = EntitySelector()
+        assert selector.matches(obs())
+        assert selector.matches(instance())
+
+
+class TestOutputPolicy:
+    def test_defaults(self):
+        policy = OutputPolicy()
+        assert policy.time == "earliest"
+        assert policy.space == "centroid"
+        assert policy.confidence == "min"
+
+    @pytest.mark.parametrize("field, value", [
+        ("time", "sometimes"),
+        ("space", "everywhere"),
+        ("confidence", "vibes"),
+    ])
+    def test_invalid_choices_rejected(self, field, value):
+        with pytest.raises(SpecificationError):
+            OutputPolicy(**{field: value})
+
+    def test_output_attribute_needs_terms(self):
+        with pytest.raises(SpecificationError):
+            OutputAttribute("temp", "avg", ())
+
+
+class TestEventSpecification:
+    def test_valid_spec(self):
+        spec = EventSpecification(
+            event_id="hot",
+            selectors={"x": EntitySelector(kinds={"temperature"})},
+            condition=SIMPLE_CONDITION,
+            window=10,
+        )
+        assert spec.roles == ("x",)
+        assert "{hot, " in spec.describe()
+
+    def test_condition_roles_must_be_declared(self):
+        with pytest.raises(SpecificationError, match="undeclared"):
+            EventSpecification(
+                event_id="hot",
+                selectors={"y": EntitySelector()},
+                condition=SIMPLE_CONDITION,  # references role "x"
+            )
+
+    def test_empty_event_id_rejected(self):
+        with pytest.raises(SpecificationError):
+            EventSpecification(
+                event_id="",
+                selectors={"x": EntitySelector()},
+                condition=SIMPLE_CONDITION,
+            )
+
+    def test_no_roles_rejected(self):
+        with pytest.raises(SpecificationError):
+            EventSpecification(
+                event_id="hot", selectors={}, condition=SIMPLE_CONDITION
+            )
+
+    def test_negative_window_and_cooldown_rejected(self):
+        with pytest.raises(SpecificationError):
+            EventSpecification(
+                event_id="hot",
+                selectors={"x": EntitySelector()},
+                condition=SIMPLE_CONDITION,
+                window=-1,
+            )
+        with pytest.raises(SpecificationError):
+            EventSpecification(
+                event_id="hot",
+                selectors={"x": EntitySelector()},
+                condition=SIMPLE_CONDITION,
+                cooldown=-1,
+            )
+
+    def test_group_roles_must_be_declared(self):
+        with pytest.raises(SpecificationError, match="group_roles"):
+            EventSpecification(
+                event_id="hot",
+                selectors={"x": EntitySelector()},
+                condition=SIMPLE_CONDITION,
+                group_roles={"nope"},
+            )
+
+    def test_candidate_roles(self):
+        spec = EventSpecification(
+            event_id="pair",
+            selectors={
+                "x": EntitySelector(kinds={"temperature"}),
+                "y": EntitySelector(kinds={"humidity"}),
+            },
+            condition=AttributeCondition(
+                "last", (AttributeTerm("x", "temperature"),),
+                RelationalOp.GT, 0.0,
+            ),
+        )
+        assert spec.candidate_roles(obs("temperature")) == ("x",)
+        assert spec.candidate_roles(obs("humidity")) == ("y",)
+        assert spec.candidate_roles(obs("pressure")) == ()
+
+    def test_bare_condition_wrapped_as_node(self):
+        spec = EventSpecification(
+            event_id="hot",
+            selectors={"x": EntitySelector()},
+            condition=SIMPLE_CONDITION,
+        )
+        assert spec.condition.leaves() == (SIMPLE_CONDITION,)

@@ -1,0 +1,148 @@
+"""Unit tests for the CPS component and observer base classes."""
+
+import pytest
+
+from repro.core.conditions import AttributeCondition, AttributeTerm
+from repro.core.errors import ComponentError
+from repro.core.event import EventLayer
+from repro.core.instance import (
+    ObserverKind,
+    PhysicalObservation,
+    SensorEventInstance,
+)
+from repro.core.operators import RelationalOp
+from repro.core.space_model import PointLocation
+from repro.core.spec import EntitySelector, EventSpecification
+from repro.core.time_model import TimePoint
+from repro.cps.component import CPSComponent, ObserverComponent
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceRecorder
+
+HERE = PointLocation(1, 2)
+
+
+def spec(event_id="hot", threshold=50.0):
+    return EventSpecification(
+        event_id=event_id,
+        selectors={"x": EntitySelector(kinds={"t"})},
+        condition=AttributeCondition(
+            "last", (AttributeTerm("x", "t"),), RelationalOp.GT, threshold
+        ),
+    )
+
+
+def obs(value, tick=5):
+    return PhysicalObservation(
+        "MT1", "SR1", 0, TimePoint(tick), HERE, {"t": value}
+    )
+
+
+def make_observer(sim=None, trace=None, specs=()):
+    return ObserverComponent(
+        "OBS1",
+        HERE,
+        sim or Simulator(),
+        kind=ObserverKind.SENSOR_MOTE,
+        layer=EventLayer.SENSOR,
+        instance_cls=SensorEventInstance,
+        specs=specs,
+        trace=trace,
+    )
+
+
+class TestCPSComponent:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ComponentError):
+            CPSComponent("", HERE, Simulator())
+
+    def test_record_without_trace_is_noop(self):
+        component = CPSComponent("C1", HERE, Simulator())
+        component.record("anything", value=1)  # must not raise
+
+    def test_record_with_trace(self):
+        trace = TraceRecorder()
+        sim = Simulator()
+        component = CPSComponent("C1", HERE, sim, trace)
+        sim.schedule(7, lambda: component.record("ping", value=3))
+        sim.run()
+        records = trace.by_source("C1")
+        assert len(records) == 1
+        assert records[0].tick == 7
+        assert records[0].value("value") == 3
+
+
+class TestObserverComponent:
+    def test_ingest_emits_on_match(self):
+        observer = make_observer(specs=[spec()])
+        emitted = observer.ingest(obs(60.0))
+        assert len(emitted) == 1
+        instance = emitted[0]
+        assert instance.observer == observer.observer_id
+        assert instance.generated_location == HERE
+        assert observer.emitted == emitted
+
+    def test_ingest_silent_below_threshold(self):
+        observer = make_observer(specs=[spec()])
+        assert observer.ingest(obs(40.0)) == []
+
+    def test_seq_counters_per_event_id(self):
+        observer = make_observer(specs=[spec("a"), spec("b", threshold=0.0)])
+        assert observer.next_seq("a") == 0
+        assert observer.next_seq("a") == 1
+        assert observer.next_seq("b") == 0
+
+    def test_refine_hook_applied(self):
+        class Refining(ObserverComponent):
+            def refine_instance(self, instance, match):
+                from dataclasses import replace
+
+                return replace(instance, confidence=0.5)
+
+        observer = Refining(
+            "R1", HERE, Simulator(),
+            kind=ObserverKind.SENSOR_MOTE,
+            layer=EventLayer.SENSOR,
+            instance_cls=SensorEventInstance,
+            specs=[spec()],
+        )
+        emitted = observer.ingest(obs(60.0))
+        assert emitted[0].confidence == 0.5
+
+    def test_distribute_hook_called(self):
+        distributed = []
+
+        class Distributing(ObserverComponent):
+            def distribute(self, instance):
+                distributed.append(instance)
+
+        observer = Distributing(
+            "D1", HERE, Simulator(),
+            kind=ObserverKind.SENSOR_MOTE,
+            layer=EventLayer.SENSOR,
+            instance_cls=SensorEventInstance,
+            specs=[spec()],
+        )
+        observer.ingest(obs(60.0))
+        assert len(distributed) == 1
+
+    def test_emit_direct_traces_and_distributes(self):
+        trace = TraceRecorder()
+        observer = make_observer(trace=trace)
+        instance = SensorEventInstance(
+            observer=observer.observer_id,
+            event_id="manual",
+            seq=observer.next_seq("manual"),
+            generated_time=TimePoint(3),
+            generated_location=HERE,
+            estimated_time=TimePoint(1),
+            estimated_location=HERE,
+        )
+        observer.emit_direct(instance)
+        assert observer.emitted == [instance]
+        assert trace.count("instance.emit") == 1
+
+    def test_add_spec_at_runtime(self):
+        observer = make_observer()
+        assert observer.ingest(obs(60.0)) == []
+        observer.add_spec(spec())
+        assert len(observer.ingest(obs(60.0))) == 1

@@ -1,0 +1,237 @@
+"""Unit tests for the detection engine and instance construction."""
+
+import pytest
+
+from repro.core.composite import all_of
+from repro.core.conditions import (
+    AttributeCondition,
+    AttributeTerm,
+    SpatialMeasureCondition,
+    TemporalCondition,
+    TemporalMeasureCondition,
+    TimeOf,
+)
+from repro.core.errors import ObserverError
+from repro.core.event import EventLayer
+from repro.core.instance import (
+    ObserverId,
+    ObserverKind,
+    PhysicalObservation,
+    SensorEventInstance,
+)
+from repro.core.operators import RelationalOp, TemporalOp
+from repro.core.space_model import PointLocation
+from repro.core.spec import (
+    EntitySelector,
+    EventSpecification,
+    OutputAttribute,
+    OutputPolicy,
+)
+from repro.core.time_model import TimeInterval, TimePoint
+from repro.detect.engine import DetectionEngine, build_instance
+
+MOTE = ObserverId(ObserverKind.SENSOR_MOTE, "MT9")
+
+
+def obs(mote="MT1", seq=0, tick=0, x=0.0, y=0.0, **attrs):
+    return PhysicalObservation(
+        mote, "SR1", seq, TimePoint(tick), PointLocation(x, y),
+        attrs or {"temp": 50.0},
+    )
+
+
+def hot_spec(window=0, cooldown=0, threshold=40.0):
+    return EventSpecification(
+        event_id="hot",
+        selectors={"x": EntitySelector(kinds={"temp"})},
+        condition=AttributeCondition(
+            "last", (AttributeTerm("x", "temp"),), RelationalOp.GT, threshold
+        ),
+        window=window,
+        cooldown=cooldown,
+        output=OutputPolicy(
+            attributes=(
+                OutputAttribute("temp", "last", (AttributeTerm("x", "temp"),)),
+            )
+        ),
+    )
+
+
+def pair_spec(window=10):
+    return EventSpecification(
+        event_id="pair",
+        selectors={
+            "a": EntitySelector(kinds={"temp"}),
+            "b": EntitySelector(kinds={"temp"}),
+        },
+        condition=all_of(
+            TemporalCondition(TimeOf("a"), TemporalOp.BEFORE, TimeOf("b")),
+            SpatialMeasureCondition("distance", ("a", "b"), RelationalOp.LT, 10.0),
+        ),
+        window=window,
+    )
+
+
+class TestSingleRole:
+    def test_match_on_satisfying_entity(self):
+        engine = DetectionEngine([hot_spec()])
+        matches = engine.submit(obs(temp=50.0), now=0)
+        assert len(matches) == 1
+        assert matches[0].spec.event_id == "hot"
+
+    def test_no_match_below_threshold(self):
+        engine = DetectionEngine([hot_spec()])
+        assert engine.submit(obs(temp=30.0), now=0) == []
+
+    def test_non_candidate_ignored(self):
+        engine = DetectionEngine([hot_spec()])
+        assert engine.submit(obs(humidity=99.0), now=0) == []
+        assert engine.stats.bindings_evaluated == 0
+
+
+class TestMultiRole:
+    def test_pair_requires_both_roles(self):
+        engine = DetectionEngine([pair_spec()])
+        assert engine.submit(obs("MT1", tick=1), now=1) == []
+        matches = engine.submit(obs("MT2", tick=3, x=2.0), now=3)
+        assert len(matches) == 1
+        binding = matches[0].binding
+        assert binding["a"].mote_id == "MT1"
+        assert binding["b"].mote_id == "MT2"
+
+    def test_entity_cannot_fill_two_roles(self):
+        engine = DetectionEngine([pair_spec()])
+        # A single entity matching both selectors must not self-pair.
+        assert engine.submit(obs("MT1", tick=1), now=1) == []
+
+    def test_window_eviction_prevents_stale_pairs(self):
+        engine = DetectionEngine([pair_spec(window=5)])
+        engine.submit(obs("MT1", tick=0), now=0)
+        assert engine.submit(obs("MT2", tick=20, x=1.0), now=20) == []
+
+    def test_dedup_same_binding_not_re_emitted(self):
+        engine = DetectionEngine([pair_spec(window=50)])
+        engine.submit(obs("MT1", seq=0, tick=1), now=1)
+        first = engine.submit(obs("MT2", seq=0, tick=2, x=1.0), now=2)
+        assert len(first) == 1
+        # A third entity triggers re-evaluation; the old pair must not fire again.
+        second = engine.submit(obs("MT3", seq=0, tick=3, x=2.0), now=3)
+        keys = {
+            frozenset(e.key for e in match.entities()) for match in second
+        }
+        assert frozenset({("MT1", "SR1", 0), ("MT2", "SR1", 0)}) not in keys
+
+
+class TestCooldown:
+    def test_cooldown_suppresses_repeat_matches(self):
+        engine = DetectionEngine([hot_spec(cooldown=10)])
+        assert len(engine.submit(obs(seq=0, tick=0, temp=50.0), now=0)) == 1
+        assert engine.submit(obs(seq=1, tick=5, temp=50.0), now=5) == []
+        assert len(engine.submit(obs(seq=2, tick=10, temp=50.0), now=10)) == 1
+
+    def test_zero_cooldown_reports_every_match(self):
+        engine = DetectionEngine([hot_spec(cooldown=0)])
+        for seq in range(3):
+            assert len(engine.submit(obs(seq=seq, tick=seq, temp=50.0), now=seq)) == 1
+
+
+class TestGroupRoles:
+    def test_group_binds_whole_window(self):
+        spec = EventSpecification(
+            event_id="avg_hot",
+            selectors={"g": EntitySelector(kinds={"temp"})},
+            condition=AttributeCondition(
+                "average", (AttributeTerm("g", "temp"),), RelationalOp.GT, 45.0
+            ),
+            window=100,
+            group_roles={"g"},
+        )
+        engine = DetectionEngine([spec])
+        assert engine.submit(obs(seq=0, tick=0, temp=40.0), now=0) == []
+        # Average of [40, 60] = 50 > 45.
+        matches = engine.submit(obs(seq=1, tick=1, temp=60.0), now=1)
+        assert len(matches) == 1
+        group = matches[0].binding["g"]
+        assert isinstance(group, tuple) and len(group) == 2
+
+
+class TestErrorPolicy:
+    def test_evaluation_errors_counted_not_raised(self):
+        # The condition aggregates an attribute the entity lacks.
+        spec = EventSpecification(
+            event_id="broken",
+            selectors={"x": EntitySelector()},  # accepts anything
+            condition=AttributeCondition(
+                "last", (AttributeTerm("x", "missing"),), RelationalOp.GT, 0
+            ),
+        )
+        engine = DetectionEngine([spec])
+        assert engine.submit(obs(temp=50.0), now=0) == []
+        assert engine.stats.evaluation_errors == 1
+
+    def test_duplicate_spec_rejected(self):
+        engine = DetectionEngine([hot_spec()])
+        with pytest.raises(ObserverError):
+            engine.add_spec(hot_spec())
+
+    def test_spec_lookup(self):
+        engine = DetectionEngine([hot_spec()])
+        assert engine.spec("hot").event_id == "hot"
+        with pytest.raises(ObserverError):
+            engine.spec("ghost")
+
+    def test_clear_resets_state(self):
+        engine = DetectionEngine([pair_spec(window=50)])
+        engine.submit(obs("MT1", tick=1), now=1)
+        engine.clear()
+        assert engine.submit(obs("MT2", tick=2, x=1.0), now=2) == []
+
+
+class TestBuildInstance:
+    def make_match(self):
+        engine = DetectionEngine([pair_spec(window=50)])
+        engine.submit(obs("MT1", tick=1, x=0.0, temp=50.0), now=1)
+        matches = engine.submit(obs("MT2", tick=5, x=4.0, temp=60.0), now=5)
+        assert matches
+        return matches[0]
+
+    def test_six_tuple_construction(self):
+        match = self.make_match()
+        instance = build_instance(
+            match,
+            observer=MOTE,
+            seq=3,
+            generated_time=TimePoint(6),
+            generated_location=PointLocation(9, 9),
+            layer=EventLayer.SENSOR,
+            instance_cls=SensorEventInstance,
+        )
+        assert instance.key == (MOTE, "pair", 3)
+        assert instance.generated_time == TimePoint(6)
+        assert instance.generated_location == PointLocation(9, 9)
+        assert instance.estimated_time == TimePoint(1)         # earliest
+        assert instance.estimated_location == PointLocation(2, 0)  # centroid
+        assert instance.confidence == 1.0
+        assert len(instance.sources) == 2
+        assert instance.detection_latency == 5
+
+    def test_span_policy_yields_interval(self):
+        spec = pair_spec(window=50)
+        object.__setattr__(spec, "output", OutputPolicy(time="span"))
+        engine = DetectionEngine([spec])
+        engine.submit(obs("MT1", tick=1), now=1)
+        match = engine.submit(obs("MT2", tick=5, x=4.0), now=5)[0]
+        instance = build_instance(
+            match, MOTE, 0, TimePoint(6), PointLocation(0, 0),
+            EventLayer.SENSOR,
+        )
+        assert instance.estimated_time == TimeInterval(TimePoint(1), TimePoint(5))
+
+    def test_output_attributes_computed(self):
+        engine = DetectionEngine([hot_spec()])
+        match = engine.submit(obs(temp=77.0), now=0)[0]
+        instance = build_instance(
+            match, MOTE, 0, TimePoint(0), PointLocation(0, 0),
+            EventLayer.SENSOR,
+        )
+        assert instance.attribute("temp") == 77.0

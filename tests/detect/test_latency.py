@@ -1,0 +1,91 @@
+"""Unit tests for EDL measurement probes."""
+
+from repro.core.event import EventLayer
+from repro.core.instance import EventInstance, ObserverId, ObserverKind
+from repro.core.space_model import PointLocation
+from repro.core.time_model import TimePoint
+from repro.detect.latency import EndToEndTracker, LatencyProbe
+
+
+def instance(layer, occurred, generated):
+    kinds = {
+        EventLayer.SENSOR: ObserverKind.SENSOR_MOTE,
+        EventLayer.CYBER_PHYSICAL: ObserverKind.SINK_NODE,
+        EventLayer.CYBER: ObserverKind.CCU,
+    }
+    return EventInstance(
+        observer=ObserverId(kinds[layer], "X"),
+        event_id="e",
+        seq=0,
+        generated_time=TimePoint(generated),
+        generated_location=PointLocation(0, 0),
+        estimated_time=TimePoint(occurred),
+        estimated_location=PointLocation(0, 0),
+        layer=layer,
+    )
+
+
+class TestLatencyProbe:
+    def test_per_layer_grouping(self):
+        probe = LatencyProbe()
+        probe.observe(instance(EventLayer.SENSOR, 10, 12))
+        probe.observe(instance(EventLayer.SENSOR, 10, 14))
+        probe.observe(instance(EventLayer.CYBER, 10, 20))
+        assert probe.samples(EventLayer.SENSOR) == [2, 4]
+        assert probe.count(EventLayer.SENSOR) == 2
+        assert probe.count() == 3
+
+    def test_layer_means(self):
+        probe = LatencyProbe()
+        probe.observe(instance(EventLayer.SENSOR, 0, 2))
+        probe.observe(instance(EventLayer.SENSOR, 0, 4))
+        assert probe.layer_means()[EventLayer.SENSOR] == 3.0
+
+    def test_summary(self):
+        probe = LatencyProbe()
+        for latency in (1, 2, 3):
+            probe.observe(instance(EventLayer.CYBER, 0, latency))
+        summary = probe.summary(EventLayer.CYBER)
+        assert summary["mean"] == 2.0
+        assert summary["count"] == 3.0
+
+    def test_empty_layer(self):
+        assert LatencyProbe().summary(EventLayer.SENSOR) == {"count": 0.0}
+
+
+class TestEndToEndTracker:
+    def test_full_chain(self):
+        tracker = EndToEndTracker()
+        tracker.occurred("fire-1", 100)
+        tracker.stage("fire-1", "sensor_event", 105)
+        tracker.stage("fire-1", "cyber_event", 112)
+        tracker.stage("fire-1", "actuation", 120)
+        assert tracker.latency("fire-1", "sensor_event") == 5
+        assert tracker.latency("fire-1", "actuation") == 20
+
+    def test_first_stage_report_wins(self):
+        tracker = EndToEndTracker()
+        tracker.occurred("e", 0)
+        tracker.stage("e", "detected", 5)
+        tracker.stage("e", "detected", 9)   # later duplicate ignored
+        assert tracker.latency("e", "detected") == 5
+
+    def test_unknown_key_ignored(self):
+        tracker = EndToEndTracker()
+        tracker.stage("ghost", "detected", 5)
+        assert tracker.latency("ghost", "detected") is None
+        assert tracker.keys == ()
+
+    def test_stage_latencies_across_events(self):
+        tracker = EndToEndTracker()
+        for key, occurred, detected in (("a", 0, 4), ("b", 10, 18)):
+            tracker.occurred(key, occurred)
+            tracker.stage(key, "detected", detected)
+        assert sorted(tracker.stage_latencies("detected")) == [4, 8]
+        assert tracker.summary("detected")["mean"] == 6.0
+
+    def test_missing_stage(self):
+        tracker = EndToEndTracker()
+        tracker.occurred("a", 0)
+        assert tracker.latency("a", "never") is None
+        assert tracker.stage_latencies("never") == []

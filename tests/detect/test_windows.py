@@ -1,0 +1,85 @@
+"""Unit tests for entity windows."""
+
+import pytest
+
+from repro.core.errors import ConditionError
+from repro.detect.windows import CountWindow, TickWindow
+
+
+class TestTickWindow:
+    def test_items_within_width(self):
+        window = TickWindow(10)
+        window.add("a", 0)
+        window.add("b", 5)
+        assert window.items(10) == ["a", "b"]
+
+    def test_eviction_beyond_width(self):
+        window = TickWindow(10)
+        window.add("a", 0)
+        window.add("b", 5)
+        assert window.items(11) == ["b"]
+        assert window.items(16) == []
+
+    def test_inclusive_boundary(self):
+        window = TickWindow(10)
+        window.add("a", 0)
+        assert window.items(10) == ["a"]   # exactly width ticks later: alive
+        assert window.items(11) == []
+
+    def test_zero_width_keeps_current_tick_only(self):
+        window = TickWindow(0)
+        window.add("a", 5)
+        assert window.items(5) == ["a"]
+        assert window.items(6) == []
+
+    def test_evict_returns_dropped(self):
+        window = TickWindow(2)
+        window.add("a", 0)
+        window.add("b", 1)
+        assert window.evict(3) == ["a"]
+        assert list(window) == ["b"]
+        assert window.evict(4) == ["b"]
+
+    def test_order_preserved(self):
+        window = TickWindow(100)
+        for i in range(5):
+            window.add(i, i)
+        assert window.items(50) == [0, 1, 2, 3, 4]
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ConditionError):
+            TickWindow(-1)
+
+    def test_clear(self):
+        window = TickWindow(10)
+        window.add("a", 0)
+        window.clear()
+        assert len(window) == 0
+
+
+class TestCountWindow:
+    def test_fifo_eviction(self):
+        window = CountWindow(3)
+        for i in range(5):
+            window.add(i)
+        assert window.items() == [2, 3, 4]
+
+    def test_full_flag(self):
+        window = CountWindow(2)
+        assert not window.full
+        window.add(1)
+        window.add(2)
+        assert window.full
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConditionError):
+            CountWindow(0)
+
+    def test_iteration_and_len(self):
+        window = CountWindow(5)
+        window.add("x")
+        window.add("y")
+        assert list(window) == ["x", "y"]
+        assert len(window) == 2
+        window.clear()
+        assert len(window) == 0

@@ -1,0 +1,160 @@
+"""Unit tests for the DSL lexer and parser."""
+
+import pytest
+
+from repro.core.errors import DslSyntaxError
+from repro.dsl.ast_nodes import AndExpr, NotExpr, OrExpr, RelPredicate, RolePredicate
+from repro.dsl.lexer import TokenType, tokenize
+from repro.dsl.parser import parse, parse_many
+
+
+class TestLexer:
+    def test_token_stream(self):
+        tokens = tokenize("EVENT fire WHEN a: hot IF avg(a.t) > 5.5")
+        kinds = [t.type for t in tokens]
+        assert kinds[-1] is TokenType.EOF
+        values = [t.value for t in tokens[:-1]]
+        assert values == [
+            "EVENT", "fire", "WHEN", "a", ":", "hot", "IF",
+            "avg", "(", "a", ".", "t", ")", ">", "5.5",
+        ]
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("event x when before During")
+        assert [t.value for t in tokens[:-1]] == [
+            "EVENT", "x", "WHEN", "BEFORE", "DURING",
+        ]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("EVENT x # a comment\nWHEN")
+        assert [t.value for t in tokens[:-1]] == ["EVENT", "x", "WHEN"]
+
+    def test_positions_tracked(self):
+        tokens = tokenize("EVENT\n  fire")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_two_char_operators(self):
+        tokens = tokenize("a >= 1 b <= 2 c == 3 d != 4")
+        ops = [t.value for t in tokens if t.type is TokenType.OP]
+        assert ops == [">=", "<=", "==", "!="]
+
+    def test_negative_number_in_argument(self):
+        tokens = tokenize("point(-3, 4)")
+        numbers = [t.value for t in tokens if t.type is TokenType.NUMBER]
+        assert numbers == ["-3", "4"]
+
+    def test_offset_minus_is_symbol(self):
+        tokens = tokenize("time(a) - 5")
+        symbols = [t for t in tokens if t.type is TokenType.SYMBOL]
+        assert any(t.value == "-" for t in symbols)
+
+    def test_bad_character(self):
+        with pytest.raises(DslSyntaxError) as excinfo:
+            tokenize("EVENT $fire")
+        assert excinfo.value.column == 7
+
+    def test_malformed_number(self):
+        with pytest.raises(DslSyntaxError):
+            tokenize("x > 1.2.3")
+
+
+FULL_SOURCE = """
+EVENT fire_suspected
+  WHEN a: hot_reading, b: hot_reading | warm_reading
+  IF time(a) BEFORE time(b) AND distance(a, b) < 25
+  WINDOW 40 COOLDOWN 50
+  EMIT time=earliest space=centroid confidence=min
+  ATTR temperature = max(a.temperature, b.temperature)
+"""
+
+
+class TestParser:
+    def test_full_specification(self):
+        ast = parse(FULL_SOURCE)
+        assert ast.event_id == "fire_suspected"
+        assert [r.name for r in ast.roles] == ["a", "b"]
+        assert ast.roles[1].kinds == ("hot_reading", "warm_reading")
+        assert ast.window == 40
+        assert ast.cooldown == 50
+        assert ast.emit == {
+            "time": "earliest", "space": "centroid", "confidence": "min"
+        }
+        assert len(ast.attrs) == 1
+        assert ast.attrs[0].name == "temperature"
+        assert isinstance(ast.condition, AndExpr)
+
+    def test_role_options(self):
+        ast = parse(
+            "EVENT e WHEN GROUP g: temp IN region(zone) RHO >= 0.5 "
+            "IF count(g) > 2"
+        )
+        role = ast.roles[0]
+        assert role.group
+        assert role.region == "zone"
+        assert role.min_rho == 0.5
+
+    def test_wildcard_kind(self):
+        ast = parse("EVENT e WHEN x: * IF rho(x) >= 0")
+        assert ast.roles[0].kinds == ()
+
+    def test_kind_with_colon_segments(self):
+        ast = parse("EVENT e WHEN x: range:userA IF avg(x.range:userA) < 5")
+        assert ast.roles[0].kinds == ("range:userA",)
+
+    def test_operator_precedence_or_over_and(self):
+        ast = parse(
+            "EVENT e WHEN x: t IF avg(x.v) > 1 AND avg(x.v) < 5 OR rho(x) >= 0.9"
+        )
+        assert isinstance(ast.condition, OrExpr)
+        assert isinstance(ast.condition.children[0], AndExpr)
+
+    def test_parentheses_override(self):
+        ast = parse(
+            "EVENT e WHEN x: t IF avg(x.v) > 1 AND (avg(x.v) < 5 OR rho(x) >= 0.9)"
+        )
+        assert isinstance(ast.condition, AndExpr)
+
+    def test_not_expression(self):
+        ast = parse("EVENT e WHEN x: t IF NOT avg(x.v) > 1")
+        assert isinstance(ast.condition, NotExpr)
+
+    def test_relation_predicates(self):
+        ast = parse(
+            "EVENT e WHEN x: t, y: t "
+            "IF location(x) INSIDE location(y) AND time(x) + 5 BEFORE time(y)"
+        )
+        spatial, temporal = ast.condition.children
+        assert isinstance(spatial, RolePredicate)
+        assert spatial.keyword == "INSIDE"
+        assert isinstance(temporal, RolePredicate)
+        assert temporal.lhs.offset == 5
+
+    def test_multiple_events(self):
+        source = (
+            "EVENT one WHEN x: t IF avg(x.v) > 1\n"
+            "EVENT two WHEN y: t IF avg(y.v) > 2\n"
+        )
+        specs = parse_many(source)
+        assert [s.event_id for s in specs] == ["one", "two"]
+        with pytest.raises(DslSyntaxError):
+            parse(source)  # parse() wants exactly one
+
+    def test_missing_clauses_rejected(self):
+        with pytest.raises(DslSyntaxError, match="no WHEN"):
+            parse("EVENT e IF avg(x.v) > 1")
+        with pytest.raises(DslSyntaxError, match="no IF"):
+            parse("EVENT e WHEN x: t")
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(DslSyntaxError):
+            parse_many("   # only a comment\n")
+
+    def test_error_position_reported(self):
+        with pytest.raises(DslSyntaxError) as excinfo:
+            parse("EVENT e WHEN x: t IF avg(x.v) ~ 5")
+        assert "line 1" in str(excinfo.value)
+
+    def test_rho_filter_requires_ge(self):
+        with pytest.raises(DslSyntaxError, match=">="):
+            parse("EVENT e WHEN x: t RHO <= 0.5 IF rho(x) >= 0")

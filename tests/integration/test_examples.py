@@ -1,0 +1,51 @@
+"""Smoke tests: every shipped example runs and produces its key output.
+
+Examples are documentation that executes; these tests keep them from
+rotting as the library evolves.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "alarms sounded at ticks" in out
+        assert "detection latency (EDL)" in out
+
+    def test_smart_building(self):
+        out = run_example("smart_building.py")
+        assert "ground truth" in out
+        assert "adjust_hvac" in out
+
+    def test_forest_fire(self):
+        out = run_example("forest_fire.py")
+        assert "burned fraction with suppression" in out
+        assert "fire_suspected" in out
+
+    def test_intruder_tracking(self):
+        out = run_example("intruder_tracking.py")
+        assert "localization error summary" in out
+        assert "siren sounded" in out
+
+    def test_edl_study(self):
+        out = run_example("edl_study.py")
+        assert "sim CP" in out
+        assert "5x5" in out

@@ -1,0 +1,151 @@
+"""Unit tests for the fire model and its temperature coupling."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.core.space_model import BoundingBox, PointLocation, Polygon
+from repro.physical.fire import CellState, FireModel, FireTemperatureField
+
+BOUNDS = BoundingBox(0, 0, 100, 100)
+
+
+def make_fire(p=1.0, burn=1000, seed=0, nx=10, ny=10):
+    return FireModel(
+        BOUNDS, nx=nx, ny=ny, spread_probability=p,
+        burn_duration=burn, rng=random.Random(seed),
+    )
+
+
+class TestFireModel:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            make_fire(p=1.5)
+        with pytest.raises(ReproError):
+            FireModel(BOUNDS, 0, 5, 0.5, 10, random.Random(0))
+        with pytest.raises(ReproError):
+            FireModel(BOUNDS, 5, 5, 0.5, 0, random.Random(0))
+
+    def test_ignite_marks_cell_burning(self):
+        fire = make_fire()
+        fire.ignite(PointLocation(50, 50), 0)
+        assert fire.is_burning_at(PointLocation(50, 50))
+        assert len(fire.burning_cells()) == 1
+
+    def test_deterministic_spread(self):
+        def run(seed):
+            fire = make_fire(p=0.5, seed=seed)
+            fire.ignite(PointLocation(50, 50), 0)
+            for tick in range(1, 20):
+                fire.step(tick)
+            return sorted(fire.burning_cells())
+
+        assert run(5) == run(5)
+
+    def test_certain_spread_reaches_neighbours(self):
+        fire = make_fire(p=1.0)
+        fire.ignite(PointLocation(50, 50), 0)
+        fire.step(1)
+        assert len(fire.burning_cells()) == 5  # centre + 4 von Neumann
+
+    def test_zero_spread_stays_contained(self):
+        fire = make_fire(p=0.0)
+        fire.ignite(PointLocation(50, 50), 0)
+        for tick in range(1, 10):
+            fire.step(tick)
+        assert len(fire.burning_cells()) == 1
+
+    def test_burnout_after_duration(self):
+        fire = make_fire(p=0.0, burn=3)
+        fire.ignite(PointLocation(50, 50), 0)
+        for tick in range(1, 5):
+            fire.step(tick)
+        cell = fire.cell_of(PointLocation(50, 50))
+        assert fire.state_of(cell) is CellState.BURNED
+        assert fire.burning_cells() == []
+
+    def test_step_idempotent_per_tick(self):
+        fire = make_fire(p=1.0)
+        fire.ignite(PointLocation(50, 50), 0)
+        fire.step(1)
+        count = len(fire.burning_cells())
+        fire.step(1)
+        assert len(fire.burning_cells()) == count
+
+    def test_burning_region_needs_enough_cells(self):
+        fire = make_fire(p=0.0)
+        fire.ignite(PointLocation(50, 50), 0)
+        assert fire.burning_region() is None
+        spread = make_fire(p=1.0)
+        spread.ignite(PointLocation(50, 50), 0)
+        for tick in range(1, 4):
+            spread.step(tick)
+        region = spread.burning_region()
+        assert isinstance(region, Polygon)
+        assert region.contains_point(PointLocation(55, 55))
+
+    def test_burned_fraction_monotone(self):
+        fire = make_fire(p=1.0)
+        fire.ignite(PointLocation(50, 50), 0)
+        fractions = []
+        for tick in range(1, 6):
+            fire.step(tick)
+            fractions.append(fire.burned_fraction)
+        assert fractions == sorted(fractions)
+        assert fractions[-1] > fractions[0]
+
+    def test_suppress_stops_spread(self):
+        fire = make_fire(p=1.0)
+        fire.ignite(PointLocation(50, 50), 0)
+        fire.step(1)
+        fire.suppress(factor=0.0)
+        before = len(fire.burning_cells())
+        for tick in range(2, 10):
+            fire.step(tick)
+        # No new ignitions; burning cells only decline via burnout.
+        assert len(fire.burning_cells()) <= before
+
+    def test_suppress_extinguish(self):
+        fire = make_fire(p=1.0)
+        fire.ignite(PointLocation(50, 50), 0)
+        fire.step(1)
+        fire.suppress(factor=0.0, extinguish=True)
+        assert fire.burning_cells() == []
+
+    def test_reignite_burned_cell_ignored(self):
+        fire = make_fire(p=0.0, burn=1)
+        fire.ignite(PointLocation(50, 50), 0)
+        fire.step(1)
+        fire.ignite(PointLocation(50, 50), 2)
+        assert fire.burning_cells() == []
+
+
+class TestFireTemperatureField:
+    def test_ambient_without_fire(self):
+        field = FireTemperatureField(make_fire(), ambient=20.0)
+        assert field.value_at(PointLocation(10, 10), 0) == 20.0
+
+    def test_hot_over_burning_cell(self):
+        fire = make_fire(p=0.0)
+        fire.ignite(PointLocation(50, 50), 0)
+        field = FireTemperatureField(fire, ambient=20.0, peak=400.0, sigma=5.0)
+        centre = fire.cell_center(fire.cell_of(PointLocation(50, 50)))
+        assert field.value_at(centre, 0) == pytest.approx(420.0)
+
+    def test_cutoff_beyond_three_sigma(self):
+        fire = make_fire(p=0.0)
+        fire.ignite(PointLocation(50, 50), 0)
+        field = FireTemperatureField(fire, ambient=20.0, peak=400.0, sigma=5.0)
+        assert field.value_at(PointLocation(90, 90), 0) == 20.0
+
+    def test_step_advances_fire(self):
+        fire = make_fire(p=1.0)
+        fire.ignite(PointLocation(50, 50), 0)
+        field = FireTemperatureField(fire)
+        field.step(1)
+        assert len(fire.burning_cells()) > 1
+
+    def test_sigma_validation(self):
+        with pytest.raises(ReproError):
+            FireTemperatureField(make_fire(), sigma=0.0)

@@ -1,0 +1,125 @@
+"""Unit tests for mobility models."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.core.space_model import BoundingBox, PointLocation
+from repro.physical.mobility import (
+    PatrolTrajectory,
+    RandomWalk,
+    StaticPosition,
+    WaypointTrajectory,
+)
+
+
+class TestStaticPosition:
+    def test_never_moves(self):
+        trajectory = StaticPosition(PointLocation(3, 4))
+        assert trajectory.position(0) == PointLocation(3, 4)
+        assert trajectory.position(10_000) == PointLocation(3, 4)
+
+
+class TestWaypointTrajectory:
+    def trajectory(self):
+        return WaypointTrajectory(
+            [
+                (0, PointLocation(0, 0)),
+                (10, PointLocation(10, 0)),
+                (20, PointLocation(10, 10)),
+            ]
+        )
+
+    def test_rests_at_endpoints(self):
+        t = self.trajectory()
+        assert t.position(-5) == PointLocation(0, 0)
+        assert t.position(0) == PointLocation(0, 0)
+        assert t.position(20) == PointLocation(10, 10)
+        assert t.position(99) == PointLocation(10, 10)
+
+    def test_linear_interpolation(self):
+        t = self.trajectory()
+        assert t.position(5) == PointLocation(5, 0)
+        assert t.position(15) == PointLocation(10, 5)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            WaypointTrajectory([])
+        with pytest.raises(ReproError):
+            WaypointTrajectory(
+                [(5, PointLocation(0, 0)), (5, PointLocation(1, 1))]
+            )
+
+
+class TestRandomWalk:
+    def walk(self, seed=1):
+        return RandomWalk(
+            PointLocation(5, 5),
+            step=1.0,
+            bounds=BoundingBox(0, 0, 10, 10),
+            rng=random.Random(seed),
+        )
+
+    def test_stays_in_bounds(self):
+        walk = self.walk()
+        bounds = BoundingBox(0, 0, 10, 10)
+        for tick in range(500):
+            assert bounds.contains_point(walk.position(tick))
+
+    def test_step_length_respected(self):
+        walk = self.walk()
+        a = walk.position(10)
+        b = walk.position(11)
+        assert a.distance_to(b) <= 2.0 + 1e-9  # may reflect off a wall
+
+    def test_reproducible_and_consistent(self):
+        first = [self.walk(3).position(t) for t in range(20)]
+        second_walk = self.walk(3)
+        # Query out of order: the cached path must agree.
+        second_walk.position(19)
+        second = [second_walk.position(t) for t in range(20)]
+        assert first == second
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            RandomWalk(
+                PointLocation(50, 50), 1.0,
+                BoundingBox(0, 0, 10, 10), random.Random(0),
+            )
+        with pytest.raises(ReproError):
+            RandomWalk(
+                PointLocation(5, 5), -1.0,
+                BoundingBox(0, 0, 10, 10), random.Random(0),
+            )
+
+
+class TestPatrolTrajectory:
+    def patrol(self):
+        return PatrolTrajectory(
+            [PointLocation(0, 0), PointLocation(10, 0)], speed=1.0
+        )
+
+    def test_constant_speed_along_loop(self):
+        patrol = self.patrol()
+        assert patrol.position(0) == PointLocation(0, 0)
+        assert patrol.position(5) == PointLocation(5, 0)
+        assert patrol.position(10) == PointLocation(10, 0)
+
+    def test_loops_back(self):
+        patrol = self.patrol()
+        # Loop length is 20; tick 15 is halfway back.
+        assert patrol.position(15) == PointLocation(5, 0)
+        assert patrol.position(20) == PointLocation(0, 0)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            PatrolTrajectory([PointLocation(0, 0)], speed=1.0)
+        with pytest.raises(ReproError):
+            PatrolTrajectory(
+                [PointLocation(0, 0), PointLocation(1, 0)], speed=0.0
+            )
+        with pytest.raises(ReproError):
+            PatrolTrajectory(
+                [PointLocation(0, 0), PointLocation(0, 0)], speed=1.0
+            )

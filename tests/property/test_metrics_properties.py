@@ -1,0 +1,102 @@
+"""Property-based tests for detection metrics (hypothesis)."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.event import EventLayer, PhysicalEvent
+from repro.core.instance import EventInstance, ObserverId, ObserverKind
+from repro.core.space_model import PointLocation
+from repro.core.time_model import TimeInterval, TimePoint
+from repro.metrics import interval_iou, match_detections
+
+SINK = ObserverId(ObserverKind.SINK_NODE, "S1")
+
+ticks = st.integers(min_value=0, max_value=500)
+coords = st.floats(min_value=-100, max_value=100,
+                   allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def detections(draw):
+    tick = draw(ticks)
+    return EventInstance(
+        observer=SINK,
+        event_id="e",
+        seq=draw(st.integers(0, 10_000)),
+        generated_time=TimePoint(tick + 5),
+        generated_location=PointLocation(0, 0),
+        estimated_time=TimePoint(tick),
+        estimated_location=PointLocation(draw(coords), draw(coords)),
+        layer=EventLayer.CYBER_PHYSICAL,
+    )
+
+
+@st.composite
+def truths(draw):
+    return PhysicalEvent(
+        "e",
+        PhysicalEvent.fresh_id(),
+        TimePoint(draw(ticks)),
+        PointLocation(draw(coords), draw(coords)),
+    )
+
+
+@st.composite
+def intervals(draw):
+    start = draw(ticks)
+    return TimeInterval(
+        TimePoint(start), TimePoint(start + draw(st.integers(0, 100)))
+    )
+
+
+class TestMatchingProperties:
+    @given(
+        st.lists(detections(), max_size=12),
+        st.lists(truths(), max_size=12),
+        st.integers(0, 50),
+    )
+    def test_scores_bounded_and_counts_consistent(self, dets, gts, tol):
+        result = match_detections(dets, gts, time_tolerance=tol)
+        assert 0.0 <= result.precision <= 1.0
+        assert 0.0 <= result.recall <= 1.0
+        assert 0.0 <= result.f1 <= 1.0
+        assert result.true_positives + result.false_negatives == len(gts)
+        assert result.true_positives <= len(dets)
+        # One-to-one: no truth event claimed twice.
+        claimed = [id(t) for _, t in result.pairs]
+        assert len(claimed) == len(set(claimed))
+
+    @given(st.lists(truths(), min_size=1, max_size=10))
+    def test_no_detections_means_zero_recall(self, gts):
+        result = match_detections([], gts, time_tolerance=10)
+        assert result.recall == 0.0
+        assert result.precision == 1.0  # vacuous
+
+    @given(st.lists(detections(), max_size=10), st.integers(0, 50))
+    def test_widening_tolerance_never_hurts_recall(self, dets, tol):
+        gts = [
+            PhysicalEvent(
+                "e", PhysicalEvent.fresh_id(),
+                d.estimated_time, d.estimated_location,
+            )
+            for d in dets[: len(dets) // 2]
+        ]
+        narrow = match_detections(dets, gts, time_tolerance=tol)
+        wide = match_detections(dets, gts, time_tolerance=tol + 20)
+        assert wide.recall >= narrow.recall
+
+
+class TestIoUProperties:
+    @given(intervals(), intervals())
+    def test_iou_bounded_and_symmetric(self, a, b):
+        iou = interval_iou(a, b)
+        assert 0.0 <= iou <= 1.0
+        assert iou == interval_iou(b, a)
+
+    @given(intervals())
+    def test_self_iou_is_one(self, a):
+        assert interval_iou(a, a) == 1.0
+
+    @given(intervals(), intervals())
+    def test_iou_one_implies_equal(self, a, b):
+        if interval_iou(a, b) == 1.0:
+            assert a == b

@@ -1,0 +1,155 @@
+"""Property-based tests for the spatial model (hypothesis)."""
+
+import math
+
+from hypothesis import assume, given, strategies as st
+
+from repro.core.space_model import (
+    BoundingBox,
+    Circle,
+    PointLocation,
+    Polygon,
+    SpatialRelation,
+    convex_hull,
+    min_enclosing_box,
+    spatial_relation,
+)
+
+coords = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def points(draw):
+    return PointLocation(draw(coords), draw(coords))
+
+
+@st.composite
+def boxes(draw):
+    x0, y0 = draw(coords), draw(coords)
+    w = draw(st.floats(min_value=0.1, max_value=500))
+    h = draw(st.floats(min_value=0.1, max_value=500))
+    return BoundingBox(x0, y0, x0 + w, y0 + h)
+
+
+@st.composite
+def circles(draw):
+    return Circle(draw(points()), draw(st.floats(min_value=0.1, max_value=300)))
+
+
+@st.composite
+def fields(draw):
+    if draw(st.booleans()):
+        return draw(boxes())
+    return draw(circles())
+
+
+@st.composite
+def spatial_entities(draw):
+    if draw(st.booleans()):
+        return draw(points())
+    return draw(fields())
+
+
+class TestRelationProperties:
+    @given(spatial_entities(), spatial_entities())
+    def test_totality(self, a, b):
+        assert isinstance(spatial_relation(a, b), SpatialRelation)
+
+    @given(spatial_entities(), spatial_entities())
+    def test_inverse_symmetry(self, a, b):
+        assert spatial_relation(b, a) is spatial_relation(a, b).inverse
+
+    @given(fields())
+    def test_field_equals_itself(self, field):
+        assert spatial_relation(field, field) is SpatialRelation.EQUAL_TO
+
+    @given(points(), fields())
+    def test_point_field_consistent_with_containment(self, point, field):
+        relation = spatial_relation(point, field)
+        assert (relation is SpatialRelation.INSIDE) == field.contains_point(point)
+
+
+class TestDistanceProperties:
+    @given(points(), points())
+    def test_distance_symmetric(self, a, b):
+        assert a.distance_to(b) == b.distance_to(a)
+
+    @given(points(), points(), points())
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+    @given(points())
+    def test_distance_to_self_zero(self, a):
+        assert a.distance_to(a) == 0.0
+
+    @given(points(), fields())
+    def test_field_distance_zero_iff_inside(self, point, field):
+        distance = field.distance_to_point(point)
+        if field.contains_point(point):
+            assert distance == 0.0
+        else:
+            assert distance > 0.0
+
+
+class TestHullProperties:
+    @given(st.lists(points(), min_size=1, max_size=20))
+    def test_hull_contains_all_inputs(self, pts):
+        hull = convex_hull(pts)
+        if len(hull) >= 3:
+            polygon = Polygon(hull)
+            for p in pts:
+                assert polygon.contains_point(p)
+
+    @given(st.lists(points(), min_size=3, max_size=20))
+    def test_hull_vertices_are_input_points(self, pts):
+        input_set = {(p.x, p.y) for p in pts}
+        for vertex in convex_hull(pts):
+            assert (vertex.x, vertex.y) in input_set
+
+    @given(st.lists(points(), min_size=1, max_size=20))
+    def test_enclosing_box_contains_all(self, pts):
+        box = min_enclosing_box(pts)
+        for p in pts:
+            assert box.contains_point(p)
+
+    @given(st.lists(points(), min_size=3, max_size=12))
+    def test_hull_area_within_enclosing_box(self, pts):
+        hull = convex_hull(pts)
+        assume(len(hull) >= 3)
+        polygon = Polygon(hull)
+        box = min_enclosing_box(pts)
+        assert polygon.area() <= box.area() + 1e-6
+
+
+class TestFieldGeometry:
+    @given(fields())
+    def test_centroid_inside_bounding_box(self, field):
+        assert field.bounding_box().contains_point(field.centroid())
+
+    @given(circles())
+    def test_circle_area_formula(self, circle):
+        assert field_area_close(circle.area(), math.pi * circle.radius**2)
+
+    @given(boxes())
+    def test_box_polygon_equivalence(self, box):
+        polygon = box.to_polygon()
+        assert field_area_close(polygon.area(), box.area())
+        cx, cy = polygon.centroid()
+        bx, by = box.centroid()
+        assert math.isclose(cx, bx, rel_tol=1e-9, abs_tol=1e-6)
+        assert math.isclose(cy, by, rel_tol=1e-9, abs_tol=1e-6)
+
+    @given(fields(), fields())
+    def test_containment_implies_intersection(self, a, b):
+        if a.contains_field(b):
+            assert a.intersects(b)
+
+    @given(fields(), fields())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+
+def field_area_close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)

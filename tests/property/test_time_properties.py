@@ -1,0 +1,111 @@
+"""Property-based tests for the time model (hypothesis).
+
+The temporal relation function is the foundation of every temporal
+condition; these properties must hold for *all* inputs:
+
+* totality — every pair of temporal entities maps to exactly one
+  relation;
+* inverse symmetry — relation(b, a) is the inverse of relation(a, b);
+* hull soundness — the hull contains every operand;
+* intersection soundness — the intersection is within both operands.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.core.time_model import (
+    TemporalRelation,
+    TimeInterval,
+    TimePoint,
+    allen_relation,
+    hull,
+    intersect,
+    temporal_relation,
+)
+
+ticks = st.integers(min_value=-1000, max_value=1000)
+
+
+@st.composite
+def intervals(draw):
+    start = draw(ticks)
+    length = draw(st.integers(min_value=0, max_value=200))
+    return TimeInterval(TimePoint(start), TimePoint(start + length))
+
+
+@st.composite
+def temporal_entities(draw):
+    if draw(st.booleans()):
+        return TimePoint(draw(ticks))
+    return draw(intervals())
+
+
+class TestTotalityAndInverse:
+    @given(temporal_entities(), temporal_entities())
+    def test_every_pair_has_exactly_one_relation(self, a, b):
+        relation = temporal_relation(a, b)
+        assert isinstance(relation, TemporalRelation)
+
+    @given(temporal_entities(), temporal_entities())
+    def test_inverse_symmetry(self, a, b):
+        assert temporal_relation(b, a) is temporal_relation(a, b).inverse
+
+    @given(temporal_entities())
+    def test_self_relation_is_equality(self, a):
+        relation = temporal_relation(a, a)
+        assert relation in (
+            TemporalRelation.EQUALS,
+            TemporalRelation.SIMULTANEOUS,
+        )
+
+    @given(intervals(), intervals())
+    def test_allen_relations_partition(self, a, b):
+        """Exactly one of the 13 Allen relations holds: recomputing after
+        swapping start/end data must be consistent with before/after
+        complementarity."""
+        relation = allen_relation(a, b)
+        if relation is TemporalRelation.BEFORE:
+            assert a.end < b.start
+        if relation is TemporalRelation.AFTER:
+            assert b.end < a.start
+        if relation is TemporalRelation.EQUALS:
+            assert a == b
+
+
+class TestHullAndIntersect:
+    @given(st.lists(temporal_entities(), min_size=1, max_size=8))
+    def test_hull_contains_every_operand(self, entities):
+        result = hull(*entities)
+        for entity in entities:
+            if isinstance(entity, TimePoint):
+                assert result.contains_point(entity)
+            else:
+                assert result.start <= entity.start
+                assert result.end >= entity.end
+
+    @given(st.lists(temporal_entities(), min_size=1, max_size=8))
+    def test_hull_is_tight(self, entities):
+        result = hull(*entities)
+        starts = [
+            e.start if isinstance(e, TimeInterval) else e for e in entities
+        ]
+        ends = [e.end if isinstance(e, TimeInterval) else e for e in entities]
+        assert result.start == min(starts)
+        assert result.end == max(ends)
+
+    @given(intervals(), intervals())
+    def test_intersection_within_both(self, a, b):
+        overlap = intersect(a, b)
+        if overlap is None:
+            relation = allen_relation(a, b)
+            assert relation in (TemporalRelation.BEFORE, TemporalRelation.AFTER)
+        else:
+            assert overlap.start >= a.start and overlap.start >= b.start
+            assert overlap.end <= a.end and overlap.end <= b.end
+
+    @given(intervals(), intervals())
+    def test_intersection_commutative(self, a, b):
+        assert intersect(a, b) == intersect(b, a)
+
+    @given(intervals())
+    def test_interval_self_intersection(self, a):
+        assert intersect(a, a) == a

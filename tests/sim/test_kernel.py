@@ -1,0 +1,189 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.core.errors import SchedulingError, SimulationError
+from repro.core.time_model import TimePoint
+from repro.sim.kernel import PRIORITY_NETWORK, Simulator
+
+
+class TestScheduling:
+    def test_callbacks_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(5, lambda: order.append("b"))
+        sim.schedule(2, lambda: order.append("a"))
+        sim.schedule(9, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.tick == 9
+
+    def test_same_tick_fifo(self):
+        sim = Simulator()
+        order = []
+        for name in "abc":
+            sim.schedule(3, lambda n=name: order.append(n))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_priority_overrides_fifo_within_tick(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3, lambda: order.append("normal"))
+        sim.schedule(3, lambda: order.append("network"), priority=PRIORITY_NETWORK)
+        sim.run()
+        assert order == ["network", "normal"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_zero_delay_runs_this_tick(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(4, lambda: sim.schedule(0, lambda: seen.append(sim.tick)))
+        sim.run()
+        assert seen == [4]
+
+    def test_now_is_timepoint(self):
+        sim = Simulator()
+        assert sim.now == TimePoint(0)
+        sim.schedule(7, lambda: None)
+        sim.run()
+        assert sim.now == TimePoint(7)
+
+
+class TestCancellation:
+    def test_cancelled_callback_skipped(self):
+        sim = Simulator()
+        ran = []
+        handle = sim.schedule(5, lambda: ran.append(1))
+        handle.cancel()
+        sim.run()
+        assert not ran
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        handle = sim.schedule(5, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule(5, lambda: None)
+        handle = sim.schedule(6, lambda: None)
+        handle.cancel()
+        assert sim.pending == 1
+
+
+class TestRunControl:
+    def test_run_until_stops_clock_at_bound(self):
+        sim = Simulator()
+        ran = []
+        sim.schedule(3, lambda: ran.append(3))
+        sim.schedule(10, lambda: ran.append(10))
+        sim.run(until=5)
+        assert ran == [3]
+        assert sim.tick == 5
+        sim.run()  # resumable
+        assert ran == [3, 10]
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run(until=100)
+        assert sim.tick == 100
+
+    def test_stop_inside_callback(self):
+        sim = Simulator()
+        ran = []
+        sim.schedule(1, lambda: (ran.append(1), sim.stop()))
+        sim.schedule(2, lambda: ran.append(2))
+        sim.run()
+        assert ran == [1]
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+        error = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError:
+                error.append(True)
+
+        sim.schedule(1, reenter)
+        sim.run()
+        assert error == [True]
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(i + 1, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestPeriodic:
+    def test_every_fires_on_period(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(10, lambda: ticks.append(sim.tick))
+        sim.run(until=35)
+        assert ticks == [10, 20, 30]
+
+    def test_every_with_explicit_start(self):
+        sim = Simulator()
+        ticks = []
+        sim.every(10, lambda: ticks.append(sim.tick), start=3)
+        sim.run(until=25)
+        assert ticks == [3, 13, 23]
+
+    def test_returning_false_stops_process(self):
+        sim = Simulator()
+        ticks = []
+
+        def fire():
+            ticks.append(sim.tick)
+            return len(ticks) < 3
+
+        sim.every(5, fire)
+        sim.run(until=100)
+        assert ticks == [5, 10, 15]
+
+    def test_cancel_handle_stops_future_firings(self):
+        sim = Simulator()
+        ticks = []
+        handle = sim.every(5, lambda: ticks.append(sim.tick))
+        sim.schedule(12, handle.cancel)
+        sim.run(until=40)
+        assert ticks == [5, 10]
+
+    def test_invalid_period(self):
+        with pytest.raises(SchedulingError):
+            Simulator().every(0, lambda: None)
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self):
+        def run(seed):
+            sim = Simulator(seed=seed)
+            values = []
+            sim.every(1, lambda: values.append(sim.rng.stream("x").random()))
+            sim.run(until=20)
+            return values
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)

@@ -1,0 +1,81 @@
+"""Unit tests for trace recording and summary statistics."""
+
+import pytest
+
+from repro.sim.trace import TraceRecorder, percentile, summarize
+
+
+class TestTraceRecorder:
+    def test_record_and_filter(self):
+        trace = TraceRecorder()
+        trace.record(1, "sample", "MT1", value=20.0)
+        trace.record(2, "sample", "MT2", value=21.0)
+        trace.record(3, "deliver", "MT1", latency=4)
+        assert len(trace) == 3
+        assert [r.tick for r in trace.by_category("sample")] == [1, 2]
+        assert [r.category for r in trace.by_source("MT1")] == ["sample", "deliver"]
+
+    def test_count(self):
+        trace = TraceRecorder()
+        trace.record(1, "a", "x")
+        trace.record(2, "a", "x")
+        trace.record(3, "b", "x")
+        assert trace.count() == 3
+        assert trace.count("a") == 2
+
+    def test_payload_access(self):
+        trace = TraceRecorder()
+        rec = trace.record(1, "sample", "MT1", value=20.0)
+        assert rec.value("value") == 20.0
+        assert rec.value("missing", -1) == -1
+
+    def test_listeners_notified(self):
+        trace = TraceRecorder()
+        seen = []
+        trace.subscribe(seen.append)
+        trace.record(1, "a", "x")
+        assert len(seen) == 1 and seen[0].category == "a"
+
+    def test_clear_keeps_listeners(self):
+        trace = TraceRecorder()
+        seen = []
+        trace.subscribe(seen.append)
+        trace.record(1, "a", "x")
+        trace.clear()
+        assert len(trace) == 0
+        trace.record(2, "b", "y")
+        assert len(seen) == 2
+
+
+class TestPercentile:
+    def test_median_and_extremes(self):
+        data = [1, 2, 3, 4, 5]
+        assert percentile(data, 50) == 3
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 5
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == pytest.approx(2.5)
+
+    def test_single_value(self):
+        assert percentile([7], 95) == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 150)
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        summary = summarize(range(1, 101))
+        assert summary["count"] == 100
+        assert summary["mean"] == pytest.approx(50.5)
+        assert summary["min"] == 1
+        assert summary["max"] == 100
+        assert summary["p50"] == pytest.approx(50.5)
+        assert summary["p95"] == pytest.approx(95.05)
+
+    def test_empty(self):
+        assert summarize([]) == {"count": 0.0}

@@ -1,0 +1,147 @@
+"""Unit tests for detection-quality metrics."""
+
+import pytest
+
+from repro.core.event import PhysicalEvent
+from repro.core.instance import EventInstance, ObserverId, ObserverKind
+from repro.core.space_model import BoundingBox, Circle, PointLocation
+from repro.core.time_model import TimeInterval, TimePoint
+from repro.metrics import (
+    interval_iou,
+    localization_error,
+    match_detections,
+    precision_recall,
+    region_iou,
+    timing_error,
+)
+
+
+def truth(kind="fire", tick=100, x=0.0, y=0.0):
+    return PhysicalEvent(
+        kind, PhysicalEvent.fresh_id(), TimePoint(tick), PointLocation(x, y)
+    )
+
+
+def detection(tick=100, x=0.0, y=0.0, generated=None):
+    return EventInstance(
+        observer=ObserverId(ObserverKind.SINK_NODE, "S1"),
+        event_id="fire",
+        seq=0,
+        generated_time=TimePoint(generated if generated is not None else tick + 5),
+        generated_location=PointLocation(0, 0),
+        estimated_time=TimePoint(tick),
+        estimated_location=PointLocation(x, y),
+        layer=__import__("repro.core.event", fromlist=["EventLayer"]).EventLayer.CYBER_PHYSICAL,
+    )
+
+
+def iv(a, b):
+    return TimeInterval(TimePoint(a), TimePoint(b))
+
+
+class TestMatching:
+    def test_perfect_match(self):
+        result = match_detections([detection(100)], [truth(tick=100)], 10)
+        assert result.true_positives == 1
+        assert result.precision == 1.0 and result.recall == 1.0
+        assert result.f1 == 1.0
+
+    def test_miss_and_false_alarm(self):
+        result = match_detections(
+            [detection(500)], [truth(tick=100)], time_tolerance=10
+        )
+        assert result.false_positives == 1
+        assert result.false_negatives == 1
+        assert result.precision == 0.0 and result.recall == 0.0
+
+    def test_space_tolerance(self):
+        result = match_detections(
+            [detection(100, x=50.0)], [truth(tick=100, x=0.0)],
+            time_tolerance=10, space_tolerance=5.0,
+        )
+        assert result.false_positives == 1
+
+    def test_redundant_detections_not_false_alarms(self):
+        detections = [detection(100), detection(101), detection(102)]
+        result = match_detections(detections, [truth(tick=100)], 10)
+        assert result.true_positives == 1
+        assert result.false_positives == 0
+        assert result.precision == 1.0
+
+    def test_each_truth_claimed_once(self):
+        detections = [detection(100), detection(200)]
+        truths = [truth(tick=100), truth(tick=200)]
+        result = match_detections(detections, truths, 20)
+        assert result.true_positives == 2
+
+    def test_nearest_truth_preferred(self):
+        truths = [truth(tick=100), truth(tick=110)]
+        result = match_detections([detection(109)], truths, 20)
+        assert result.pairs[0][1].occurrence_time == TimePoint(110)
+
+    def test_no_truth_no_detection_is_perfect(self):
+        result = match_detections([], [], 10)
+        assert result.precision == 1.0 and result.recall == 1.0
+
+    def test_interval_estimates_overlap(self):
+        instance = EventInstance(
+            observer=ObserverId(ObserverKind.SINK_NODE, "S1"),
+            event_id="fire", seq=0,
+            generated_time=TimePoint(60),
+            generated_location=PointLocation(0, 0),
+            estimated_time=iv(10, 50),
+            estimated_location=PointLocation(0, 0),
+            layer=__import__("repro.core.event", fromlist=["EventLayer"]).EventLayer.CYBER_PHYSICAL,
+        )
+        event = PhysicalEvent(
+            "fire", PhysicalEvent.fresh_id(), iv(40, 90), PointLocation(0, 0)
+        )
+        result = match_detections([instance], [event], time_tolerance=0)
+        assert result.true_positives == 1
+
+    def test_precision_recall_shortcut(self):
+        p, r, f1 = precision_recall([detection(100)], [truth(tick=100)], 10)
+        assert (p, r, f1) == (1.0, 1.0, 1.0)
+
+
+class TestErrors:
+    def test_timing_error(self):
+        assert timing_error(TimePoint(10), TimePoint(15)) == 5
+        assert timing_error(iv(0, 10), TimePoint(5)) == 0
+        assert timing_error(iv(0, 10), iv(20, 30)) == 10
+
+    def test_localization_error(self):
+        assert localization_error(PointLocation(0, 0), PointLocation(3, 4)) == 5.0
+        circle = Circle(PointLocation(3, 4), 2.0)
+        assert localization_error(circle, PointLocation(3, 4)) == 0.0
+
+
+class TestIoU:
+    def test_interval_iou(self):
+        assert interval_iou(iv(0, 10), iv(0, 10)) == 1.0
+        assert interval_iou(iv(0, 10), iv(20, 30)) == 0.0
+        assert interval_iou(iv(0, 9), iv(5, 14)) == pytest.approx(5 / 15)
+
+    def test_interval_iou_degenerate(self):
+        assert interval_iou(iv(5, 5), iv(5, 5)) == 1.0
+
+    def test_region_iou_identical(self):
+        box = BoundingBox(0, 0, 10, 10)
+        assert region_iou(box, box) == 1.0
+
+    def test_region_iou_disjoint(self):
+        assert region_iou(
+            BoundingBox(0, 0, 1, 1), BoundingBox(5, 5, 6, 6)
+        ) == 0.0
+
+    def test_region_iou_partial(self):
+        iou = region_iou(
+            BoundingBox(0, 0, 10, 10), BoundingBox(5, 0, 15, 10),
+            resolution=60,
+        )
+        assert iou == pytest.approx(1 / 3, abs=0.05)
+
+    def test_region_iou_symmetric(self):
+        a = BoundingBox(0, 0, 10, 10)
+        b = Circle(PointLocation(8, 8), 4)
+        assert region_iou(a, b) == pytest.approx(region_iou(b, a))
