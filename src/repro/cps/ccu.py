@@ -89,8 +89,14 @@ class ControlUnit(ObserverComponent):
         self.rules.append(rule)
 
     def receive_instance(self, instance: EventInstance) -> None:
-        """Ingest a CP instance from a sink or a cyber instance from a
-        peer CCU (never our own — avoids self-feedback loops)."""
+        """Accept a CP instance from a sink or a cyber instance from a
+        peer CCU (never our own — avoids self-feedback loops).
+
+        Arrivals are coalesced per tick: the bus delivers instances one
+        callback at a time, so they buffer in the observer inbox and are
+        ingested as one batch at
+        :data:`~repro.sim.kernel.PRIORITY_INGEST` later the same tick.
+        """
         if instance.observer == self.observer_id:
             return
         self.received_instances.append(instance)
@@ -100,7 +106,7 @@ class ControlUnit(ObserverComponent):
             from_observer=repr(instance.observer),
             layer=instance.layer.name,
         )
-        self.ingest(instance)
+        self.enqueue(instance)
 
     def distribute(self, instance: EventInstance) -> None:
         """Publish the cyber event and run the Event-Action rules."""

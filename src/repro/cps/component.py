@@ -11,6 +11,16 @@ plumbing.  :class:`ObserverComponent` adds the observer machinery: a
 specifications, per-event sequence counters, and the emit path that
 builds the Eq. 4.7 instance tuple and hands it to the concrete
 component's distribution logic.
+
+Ingestion is batch-first: :meth:`ObserverComponent.ingest_batch` feeds
+a whole per-tick entity batch to the engine in one
+:meth:`~repro.detect.engine.DetectionEngine.submit_batch` call
+(:meth:`ObserverComponent.ingest` is the single-entity convenience).
+Components fed by per-entity callbacks (packet handlers, bus
+subscriptions) coalesce arrivals with :meth:`ObserverComponent.enqueue`:
+entities buffer in an inbox and a flush scheduled at
+:data:`~repro.sim.kernel.PRIORITY_INGEST` ingests everything that
+arrived this tick as one batch.
 """
 
 from __future__ import annotations
@@ -24,7 +34,7 @@ from repro.core.instance import EventInstance, ObserverId, ObserverKind
 from repro.core.space_model import PointLocation
 from repro.core.spec import EventSpecification
 from repro.detect.engine import DetectionEngine, Match, build_instance
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import PRIORITY_INGEST, Simulator
 from repro.sim.trace import TraceRecorder
 
 __all__ = ["CPSComponent", "ObserverComponent"]
@@ -94,6 +104,8 @@ class ObserverComponent(CPSComponent):
         self.instance_cls = instance_cls
         self.engine = DetectionEngine(specs)
         self._seq: dict[str, int] = {}
+        self._inbox: list[Entity] = []
+        self._flush_scheduled = False
         self.emitted: list[EventInstance] = []
 
     def add_spec(self, spec: EventSpecification) -> None:
@@ -108,8 +120,37 @@ class ObserverComponent(CPSComponent):
 
     def ingest(self, entity: Entity) -> list[EventInstance]:
         """Evaluate one input entity; emit instances for new matches."""
-        matches = self.engine.submit(entity, self.sim.tick)
+        return self.ingest_batch((entity,))
+
+    def ingest_batch(self, entities: Sequence[Entity]) -> list[EventInstance]:
+        """Evaluate a batch of co-arriving entities in one engine pass.
+
+        Window/index maintenance and dedup pruning are amortized across
+        the batch; matches emit in engine order.  This is the preferred
+        entry point for per-tick delivery (sampling rounds, coalesced
+        packet arrivals).
+        """
+        matches = self.engine.submit_batch(entities, self.sim.tick)
         return [self._emit_match(match) for match in matches]
+
+    def enqueue(self, entity: Entity) -> None:
+        """Buffer an entity for batched ingestion later this tick.
+
+        The first enqueue of a tick schedules a flush at
+        :data:`~repro.sim.kernel.PRIORITY_INGEST`, so every entity
+        delivered during the tick's packet/bus phase lands in a single
+        :meth:`ingest_batch` call.
+        """
+        self._inbox.append(entity)
+        if not self._flush_scheduled:
+            self._flush_scheduled = True
+            self.sim.schedule(0, self._flush_inbox, priority=PRIORITY_INGEST)
+
+    def _flush_inbox(self) -> None:
+        self._flush_scheduled = False
+        batch, self._inbox = self._inbox, []
+        if batch:
+            self.ingest_batch(batch)
 
     def _emit_match(self, match: Match) -> EventInstance:
         instance = build_instance(

@@ -168,20 +168,29 @@ class SensorMote(ObserverComponent):
         self.sim.every(self.sampling_period, self.sample_once, start=start)
 
     def sample_once(self) -> None:
-        """One sampling round over every installed sensor."""
+        """One sampling round over every installed sensor.
+
+        The round's observations are ingested as one batch, so a
+        multi-sensor mote pays window/index maintenance once per round
+        instead of once per sensor.
+        """
         tick = self.sim.tick
+        round_observations = []
         for sensor in self.sensors:
             observation = sensor.sample(self.world, self.name, self.location, tick)
             if observation is None:
                 self.record("sample.failed", sensor=sensor.sensor_id)
                 continue
+            round_observations.append(observation)
             self.observations.append(observation)
             self.record(
                 "sample.ok",
                 sensor=sensor.sensor_id,
                 **{k: v for k, v in observation.attributes.items()},
             )
-            self.ingest(observation)
+        if round_observations:
+            self.ingest_batch(round_observations)
+        for observation in round_observations:
             self._update_interval_events(observation, tick)
 
     # -- interval events -------------------------------------------------

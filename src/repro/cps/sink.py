@@ -94,23 +94,39 @@ class SinkNode(ObserverComponent):
         network.register(self.name, self.handle_packet)
 
     def handle_packet(self, packet: Packet) -> None:
-        """Wireless receive path: unwrap and ingest event instances."""
+        """Wireless receive path: unwrap, record, and coalesce.
+
+        Packets arriving within one tick's delivery phase are buffered
+        and ingested as a single batch at
+        :data:`~repro.sim.kernel.PRIORITY_INGEST` (see
+        :meth:`~repro.cps.component.ObserverComponent.enqueue`), so a
+        converge-cast burst costs one engine pass instead of one per
+        packet.
+        """
         if packet.kind is not PacketKind.EVENT_INSTANCE:
             return
         instance = packet.payload
         if not isinstance(instance, EventInstance):
             return
-        self.receive_instance(instance)
+        self._note_arrival(instance)
+        self.enqueue(instance)
 
     def receive_instance(self, instance: EventInstance) -> None:
-        """Feed one sensor event instance to the CP-event conditions."""
+        """Feed one sensor event instance to the CP-event conditions.
+
+        Synchronous single-entity path (direct wiring and tests); the
+        wireless path batches through :meth:`handle_packet` instead.
+        """
+        self._note_arrival(instance)
+        self.ingest(instance)
+
+    def _note_arrival(self, instance: EventInstance) -> None:
         self.received_instances.append(instance)
         self.record(
             "sink.receive",
             event_id=instance.event_id,
             from_observer=repr(instance.observer),
         )
-        self.ingest(instance)
 
     # -- localization refinement -------------------------------------------
 

@@ -1,7 +1,15 @@
-"""Detection engine: windows, binding evaluation, intervals, localization."""
+"""Detection engine: windows, indexes, plans, intervals, localization."""
 
 from repro.detect.confidence import FUSION_METHODS, confidence_from_margin, fuse
 from repro.detect.engine import DetectionEngine, EngineStats, Match, build_instance
+from repro.detect.index import DEFAULT_CELL_SIZE, RoleIndex
+from repro.detect.planner import (
+    DistanceClause,
+    EvaluationPlan,
+    OrderClause,
+    RegionClause,
+    compile_plan,
+)
 from repro.detect.interval_builder import (
     IntervalBuilder,
     Transition,
@@ -22,6 +30,13 @@ __all__ = [
     "EngineStats",
     "Match",
     "build_instance",
+    "RoleIndex",
+    "DEFAULT_CELL_SIZE",
+    "EvaluationPlan",
+    "DistanceClause",
+    "RegionClause",
+    "OrderClause",
+    "compile_plan",
     "TickWindow",
     "CountWindow",
     "IntervalBuilder",

@@ -1,14 +1,27 @@
 """Incremental detection engine: entities in, matches and instances out.
 
 An observer (mote, sink or CCU) owns one :class:`DetectionEngine`
-loaded with its event specifications.  Every arriving entity (physical
-observation or event instance) is :meth:`submitted <DetectionEngine.submit>`;
-the engine maintains per-role windows, enumerates candidate bindings
-that include the new entity, evaluates each specification's composite
-condition tree (Eq. 4.5), and returns the satisfied bindings as
-:class:`Match` objects.  :func:`build_instance` then materializes the
-observer's output — the event instance 6-tuple of Eq. 4.7 — according
-to the specification's :class:`~repro.core.spec.OutputPolicy`.
+loaded with its event specifications.  Arriving entities (physical
+observations or event instances) are :meth:`submitted
+<DetectionEngine.submit>` one at a time or, preferably, as per-tick
+batches via :meth:`DetectionEngine.submit_batch`; the engine maintains
+per-role windows, enumerates candidate bindings that include each new
+entity, evaluates each specification's composite condition tree
+(Eq. 4.5), and returns the satisfied bindings as :class:`Match`
+objects.  :func:`build_instance` then materializes the observer's
+output — the event instance 6-tuple of Eq. 4.7 — according to the
+specification's :class:`~repro.core.spec.OutputPolicy`.
+
+Enumeration is *plan-driven*: every installed specification is compiled
+by :func:`repro.detect.planner.compile_plan` into an
+:class:`~repro.detect.planner.EvaluationPlan` whose prunable clauses
+(spatial distance/containment, temporal ordering) are answered by
+per-role :class:`~repro.detect.index.RoleIndex` structures instead of
+scanning full window contents.  Specifications with no prunable clause
+fall back to exhaustive enumeration with identical semantics; pruning
+never changes the match set, only ``stats.bindings_evaluated``
+(pass ``use_planner=False`` to force the brute-force path, which the
+scalability benchmarks use as the comparison baseline).
 
 Evaluation properties worth knowing:
 
@@ -30,9 +43,8 @@ Evaluation properties worth knowing:
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.core.conditions import Binding
 from repro.core.entity import (
@@ -56,6 +68,8 @@ from repro.core.spec import EventSpecification
 from repro.core.time_model import TemporalEntity, TimePoint
 from repro.core.aggregates import space_aggregate, time_aggregate, value_aggregate
 from repro.detect.confidence import fuse
+from repro.detect.index import DEFAULT_CELL_SIZE, RoleIndex
+from repro.detect.planner import EvaluationPlan, compile_plan
 from repro.detect.windows import TickWindow
 
 __all__ = ["Match", "EngineStats", "DetectionEngine", "build_instance"]
@@ -86,23 +100,42 @@ class EngineStats:
     """Counters the scalability benchmarks read."""
 
     entities_submitted: int = 0
+    batches_submitted: int = 0
     bindings_evaluated: int = 0
+    candidates_pruned: int = 0
     matches: int = 0
     evaluation_errors: int = 0
 
 
 class DetectionEngine:
-    """Windowed, incremental evaluator for a set of specifications.
+    """Windowed, incremental, plan-driven evaluator for specifications.
 
     Args:
         specs: The event specifications to watch for.
+        use_planner: Evaluate through compiled
+            :class:`~repro.detect.planner.EvaluationPlan` pruning
+            (default).  ``False`` forces exhaustive enumeration — same
+            match sets, more bindings evaluated — which the benchmarks
+            use as the naive baseline.
+        index_cell_size: Hash-grid cell edge for the per-role spatial
+            indexes.
     """
 
-    def __init__(self, specs: Sequence[EventSpecification] = ()):
+    def __init__(
+        self,
+        specs: Sequence[EventSpecification] = (),
+        *,
+        use_planner: bool = True,
+        index_cell_size: float = DEFAULT_CELL_SIZE,
+    ):
         self._specs: dict[str, EventSpecification] = {}
         self._pools: dict[str, dict[str, TickWindow[Entity]]] = {}
         self._seen: dict[str, dict[frozenset, int]] = {}
         self._last_match: dict[str, int] = {}
+        self._plans: dict[str, EvaluationPlan] = {}
+        self._indexes: dict[str, dict[str, RoleIndex]] = {}
+        self.use_planner = use_planner
+        self.index_cell_size = index_cell_size
         self.stats = EngineStats()
         for spec in specs:
             self.add_spec(spec)
@@ -112,10 +145,28 @@ class DetectionEngine:
         if spec.event_id in self._specs:
             raise ObserverError(f"duplicate specification {spec.event_id!r}")
         self._specs[spec.event_id] = spec
-        self._pools[spec.event_id] = {
-            role: TickWindow(spec.window) for role in spec.roles
-        }
+        pools = {role: TickWindow(spec.window) for role in spec.roles}
+        self._pools[spec.event_id] = pools
         self._seen[spec.event_id] = {}
+        plan = compile_plan(spec)
+        self._plans[spec.event_id] = plan
+        indexes: dict[str, RoleIndex] = {}
+        if self.use_planner and plan.prunable:
+            indexes = plan.build_indexes(self.index_cell_size)
+            for role, index in indexes.items():
+                # Keep the index mirroring its window: both evict FIFO,
+                # so a pop-count is enough to stay in lockstep.
+                pools[role].on_evict(
+                    lambda evicted, idx=index: idx.evict(len(evicted))
+                )
+        self._indexes[spec.event_id] = indexes
+
+    def plan(self, event_id: str) -> EvaluationPlan:
+        """Compiled evaluation plan of an installed specification."""
+        try:
+            return self._plans[event_id]
+        except KeyError:
+            raise ObserverError(f"no specification {event_id!r}") from None
 
     @property
     def specs(self) -> tuple[EventSpecification, ...]:
@@ -133,16 +184,45 @@ class DetectionEngine:
 
     def submit(self, entity: Entity, now: int) -> list[Match]:
         """Feed one entity; return every *new* match it completes."""
-        self.stats.entities_submitted += 1
+        return self.submit_batch((entity,), now)
+
+    def submit_batch(self, entities: Iterable[Entity], now: int) -> list[Match]:
+        """Feed a batch of co-arriving entities; return every new match.
+
+        All entities share the arrival tick ``now``.  Selector routing,
+        window eviction and dedup pruning are amortized once per spec
+        per batch; each entity is then inserted and evaluated in
+        submission order — exactly the sequence of operations an
+        equivalent series of single :meth:`submit` calls at the same
+        tick performs, so match sets, role assignments and cooldown
+        behavior are identical to unbatched submission.
+        """
+        batch = list(entities)
+        self.stats.entities_submitted += len(batch)
+        self.stats.batches_submitted += 1
         matches: list[Match] = []
         for spec in self._specs.values():
-            roles = spec.candidate_roles(entity)
-            if not roles:
+            staged: list[tuple[Entity, tuple[str, ...]]] = []
+            for entity in batch:
+                roles = spec.candidate_roles(entity)
+                if roles:
+                    staged.append((entity, roles))
+            if not staged:
                 continue
             pools = self._pools[spec.event_id]
-            for role in roles:
-                pools[role].add(entity, now)
-            matches.extend(self._evaluate_spec(spec, entity, roles, now))
+            indexes = self._indexes[spec.event_id]
+            for window in pools.values():
+                # One eviction sweep per batch (listeners keep the
+                # role indexes mirrored).
+                window.evict(now)
+            self._prune_seen(self._seen[spec.event_id], now, spec.window)
+            for entity, roles in staged:
+                for role in roles:
+                    pools[role].add(entity, now)
+                    index = indexes.get(role)
+                    if index is not None:
+                        index.add(entity)
+                matches.extend(self._evaluate_spec(spec, entity, roles, now))
         return matches
 
     def _evaluate_spec(
@@ -152,9 +232,7 @@ class DetectionEngine:
         candidate_roles: tuple[str, ...],
         now: int,
     ) -> list[Match]:
-        pools = self._pools[spec.event_id]
         seen = self._seen[spec.event_id]
-        self._prune_seen(seen, now, spec.window)
         last = self._last_match.get(spec.event_id)
         if (
             spec.cooldown
@@ -163,27 +241,9 @@ class DetectionEngine:
         ):
             return []
         matches: list[Match] = []
+        cooling = False
         for target_role in candidate_roles:
-            option_lists: list[list[object]] = []
-            for role in spec.roles:
-                if role in spec.group_roles:
-                    group = tuple(pools[role].items(now))
-                    if not group:
-                        option_lists = []
-                        break
-                    option_lists.append([group])
-                elif role == target_role:
-                    option_lists.append([entity])
-                else:
-                    live = pools[role].items(now)
-                    if not live:
-                        option_lists = []
-                        break
-                    option_lists.append(live)
-            if not option_lists:
-                continue
-            for combo in itertools.product(*option_lists):
-                binding = dict(zip(spec.roles, combo))
+            for binding in self._enumerate(spec, target_role, entity, now):
                 if not self._distinct(binding, spec):
                     continue
                 key = self._binding_key(binding)
@@ -205,8 +265,104 @@ class DetectionEngine:
                     matches.append(Match(spec, binding, now))
                     self._last_match[spec.event_id] = now
                     if spec.cooldown:
-                        return matches
+                        # Entering cooldown suppresses the rest of THIS
+                        # spec's enumeration only; other specs in the
+                        # same submit/batch still evaluate normally.
+                        cooling = True
+                        break
+            if cooling:
+                break
         return matches
+
+    def _enumerate(
+        self,
+        spec: EventSpecification,
+        target_role: str,
+        entity: Entity,
+        now: int,
+    ) -> Iterator[dict[str, Entity | tuple[Entity, ...]]]:
+        """Candidate bindings pinning ``entity`` to ``target_role``.
+
+        Enumeration follows the exhaustive nested-product order over
+        ``spec.roles`` (window arrival order within each role), with the
+        plan's prunable clauses filtering each role's candidates against
+        already-pinned roles.  The pruned sequence is always an ordered
+        subsequence of the exhaustive one, so match ordering is
+        preserved.
+        """
+        pools = self._pools[spec.event_id]
+        plan = self._plans[spec.event_id]
+        indexes = self._indexes[spec.event_id]
+        planned = self.use_planner and plan.prunable and bool(indexes)
+        if planned and not plan.target_feasible(target_role, entity):
+            full = 1
+            for role in spec.roles:
+                if role == target_role or role in spec.group_roles:
+                    continue
+                full *= len(pools[role].items(now))
+            self.stats.candidates_pruned += full
+            return
+
+        roles = spec.roles
+        pinned: dict[str, Entity] = {target_role: entity}
+
+        def options(role: str) -> Sequence[object] | None:
+            if role in spec.group_roles:
+                group = tuple(pools[role].items(now))
+                return (group,) if group else None
+            if role == target_role:
+                return (entity,)
+            live = pools[role].items(now)
+            if not live:
+                return None
+            if planned:
+                pruned = plan.candidates(role, pinned, indexes.get(role))
+                if pruned is not None:
+                    self.stats.candidates_pruned += len(live) - len(pruned)
+                    return pruned if pruned else None
+            return live
+
+        # Candidates depend on the recursion state only for roles with a
+        # prunable clause against an earlier-enumerated single role; all
+        # other option lists (group tuples, static region queries, full
+        # window views, clauses against the pinned target) are computed
+        # once per enumeration, not once per partial binding.
+        volatile: set[str] = set()
+        if planned:
+            earlier_dynamic: set[str] = set()
+            for role in roles:
+                if role == target_role or role in spec.group_roles:
+                    continue
+                if plan.peer_roles(role) & earlier_dynamic:
+                    volatile.add(role)
+                earlier_dynamic.add(role)
+        static_options = {
+            role: options(role) for role in roles if role not in volatile
+        }
+
+        binding: dict[str, Entity | tuple[Entity, ...]] = {}
+
+        def rec(position: int) -> Iterator[dict]:
+            if position == len(roles):
+                yield dict(binding)
+                return
+            role = roles[position]
+            choices = (
+                options(role) if role in volatile else static_options[role]
+            )
+            if choices is None:
+                return
+            single = role not in spec.group_roles and role != target_role
+            for choice in choices:
+                binding[role] = choice
+                if single:
+                    pinned[role] = choice
+                yield from rec(position + 1)
+            binding.pop(role, None)
+            if single:
+                pinned.pop(role, None)
+
+        yield from rec(0)
 
     @staticmethod
     def _distinct(binding: Binding, spec: EventSpecification) -> bool:
@@ -229,17 +385,28 @@ class DetectionEngine:
 
     @staticmethod
     def _prune_seen(seen: dict[frozenset, int], now: int, window: int) -> None:
+        """Drop dedup entries too old to ever be re-enumerated.
+
+        ``seen`` is insertion-ordered with non-decreasing match ticks
+        (``now`` never runs backwards in a live system), so expired keys
+        cluster at the front: popping from the head until a live entry
+        appears is amortized O(1) per submit and keeps the dict bounded
+        by the number of matches inside the retention horizon — the old
+        implementation rescanned every key once the dict passed 1024
+        entries, O(n) per submit.
+        """
         horizon = now - 2 * (window + 1)
-        if len(seen) < 1024:
-            return
-        for key in [k for k, t in seen.items() if t < horizon]:
+        while seen:
+            key = next(iter(seen))
+            if seen[key] >= horizon:
+                break
             del seen[key]
 
     def clear(self) -> None:
-        """Drop all windows and dedup state (specs stay installed)."""
+        """Drop all windows, indexes and dedup state (specs stay)."""
         for pools in self._pools.values():
             for window in pools.values():
-                window.clear()
+                window.clear()  # eviction listeners flush the indexes
         for seen in self._seen.values():
             seen.clear()
         self._last_match.clear()

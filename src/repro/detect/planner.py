@@ -1,0 +1,376 @@
+"""Specification compilation: condition trees to pruning evaluation plans.
+
+Brute-force detection enumerates every combination of window contents
+and evaluates the full composite condition (Eq. 4.5) on each.  Most of
+those bindings are doomed: a spec demanding ``g_distance(l_x, l_y) < 5``
+can never match a candidate 80 units away, and ``t_x Before t_y`` can
+never match a candidate that occurred after the pinned entity.  This
+module compiles each :class:`~repro.core.spec.EventSpecification` into
+an :class:`EvaluationPlan` that extracts such *prunable clauses* once,
+at spec-install time, so the engine's binding enumeration only visits
+candidates that can possibly match.
+
+Extraction is deliberately conservative — a clause is prunable only
+when it is **conjunctively necessary** (reachable from the condition
+root through ``AND`` nodes only, never under ``OR`` or ``NOT``) and its
+shape maps onto an index query:
+
+* ``SpatialMeasureCondition("distance", (a, b), <|<=, d)`` — grid range
+  query of radius ``d`` around the pinned role's location;
+* ``SpatialMeasureCondition("distance", (r,), <|<=, d, constant_location=p)``
+  — static range query around the constant point;
+* ``SpatialCondition(LocationOf(r) INSIDE LocationConst(field))`` (and
+  the mirrored ``CONTAINS`` form) — static containment query;
+* ``TemporalCondition(TimeOf(a) Before/After TimeOf(b))`` (offsets
+  supported) — tick-bound window slicing.
+
+Everything else — disjunctions, negations, attribute conditions,
+aggregate measures, group roles — is left to exact evaluation; a spec
+with no extractable clause gets a plan with ``prunable == False`` and
+the engine falls back to exhaustive enumeration.  Pruning therefore
+never changes the match set, only the number of bindings evaluated
+(verified by the differential tests in ``tests/detect/test_planner.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.composite import And, ConditionNode, Leaf
+from repro.core.conditions import (
+    Condition,
+    LocationConst,
+    LocationOf,
+    SpatialCondition,
+    SpatialMeasureCondition,
+    TemporalCondition,
+    TimeOf,
+)
+from repro.core.entity import Entity
+from repro.core.operators import RelationalOp, SpatialOp, TemporalOp
+from repro.core.space_model import Field, PointLocation
+from repro.core.spec import EventSpecification
+from repro.detect.index import RoleIndex, tick_bounds
+
+__all__ = [
+    "DistanceClause",
+    "RegionClause",
+    "OrderClause",
+    "EvaluationPlan",
+    "compile_plan",
+]
+
+
+@dataclass(frozen=True)
+class DistanceClause:
+    """Necessary clause ``distance(l_a, l_b) <= radius``."""
+
+    role_a: str
+    role_b: str
+    radius: float
+
+    def other(self, role: str) -> str:
+        return self.role_b if role == self.role_a else self.role_a
+
+
+@dataclass(frozen=True)
+class RegionClause:
+    """Necessary clause: the role's point location lies inside a field."""
+
+    role: str
+    region: Field
+
+
+@dataclass(frozen=True)
+class NearConstantClause:
+    """Necessary clause: the role's point lies within radius of a point."""
+
+    role: str
+    point: PointLocation
+    radius: float
+
+
+@dataclass(frozen=True)
+class OrderClause:
+    """Necessary clause ``hi(earlier) + slack < lo(later)`` on occurrence ticks.
+
+    Derived from ``TimeOf(earlier, oe) Before TimeOf(later, ol)`` (or the
+    mirrored ``After``): any temporal relation admitting *Before* requires
+    the earlier operand's latest tick (plus its offset) to precede the
+    later operand's earliest tick, so ``slack = oe - ol``.
+    """
+
+    earlier: str
+    later: str
+    slack: int
+
+
+def _conjunctive_leaves(node: ConditionNode) -> list[Condition]:
+    """Leaf conditions that must hold for *any* satisfying binding."""
+    if isinstance(node, Leaf):
+        return [node.condition]
+    if isinstance(node, And):
+        out: list[Condition] = []
+        for child in node.children:
+            out.extend(_conjunctive_leaves(child))
+        return out
+    return []  # Or / Not subtrees guarantee nothing about their leaves
+
+
+@dataclass(frozen=True)
+class EvaluationPlan:
+    """Compiled pruning strategy for one specification.
+
+    The engine consults the plan at two points of binding enumeration:
+
+    * :meth:`target_feasible` — static clauses over the newly arrived
+      (pinned) entity; a failed check skips the whole enumeration;
+    * :meth:`candidates` — the role's admissible window subset given the
+      already-pinned roles, computed from the role's
+      :class:`~repro.detect.index.RoleIndex`.
+
+    Both are superset guards: an entity is excluded only when a
+    conjunctively-necessary clause provably cannot hold for it.
+    """
+
+    spec: EventSpecification
+    distances: tuple[DistanceClause, ...] = ()
+    regions: tuple[RegionClause, ...] = ()
+    near_constants: tuple[NearConstantClause, ...] = ()
+    orders: tuple[OrderClause, ...] = ()
+    indexed_roles: frozenset[str] = frozenset()
+
+    @property
+    def prunable(self) -> bool:
+        """Whether any clause was extracted (else: exhaustive fallback)."""
+        return bool(
+            self.distances or self.regions or self.near_constants or self.orders
+        )
+
+    def build_indexes(self, cell_size: float) -> dict[str, RoleIndex]:
+        """Fresh role indexes for every role the plan can prune."""
+        return {role: RoleIndex(cell_size) for role in self.indexed_roles}
+
+    def describe(self) -> str:
+        """Human-readable clause summary (for tracing and docs)."""
+        parts = [
+            *(f"dist({c.role_a},{c.role_b})<={c.radius:g}" for c in self.distances),
+            *(f"{c.role} in {c.region!r}" for c in self.regions),
+            *(
+                f"dist({c.role},{c.point!r})<={c.radius:g}"
+                for c in self.near_constants
+            ),
+            *(f"{c.earlier}+{c.slack} before {c.later}" for c in self.orders),
+        ]
+        return " & ".join(parts) if parts else "<exhaustive>"
+
+    # -- engine queries -------------------------------------------------
+
+    def peer_roles(self, role: str) -> frozenset[str]:
+        """Roles whose binding can change ``role``'s candidate set.
+
+        The engine uses this to decide which roles' candidates must be
+        recomputed inside binding recursion (a peer bound earlier in
+        enumeration order) versus hoisted out and computed once.
+        """
+        peers: set[str] = set()
+        for clause in self.distances:
+            if role in (clause.role_a, clause.role_b):
+                peers.add(clause.other(role))
+        for clause in self.orders:
+            if clause.earlier == role:
+                peers.add(clause.later)
+            elif clause.later == role:
+                peers.add(clause.earlier)
+        return frozenset(peers)
+
+    def target_feasible(self, role: str, entity: Entity) -> bool:
+        """Whether static clauses permit the pinned entity in ``role``."""
+        location = entity.occurrence_location
+        if not isinstance(location, PointLocation):
+            return True  # field-located entities are never pruned
+        for clause in self.regions:
+            if clause.role == role and not clause.region.contains_point(location):
+                return False
+        for clause in self.near_constants:
+            if (
+                clause.role == role
+                and location.distance_to(clause.point) > clause.radius
+            ):
+                return False
+        return True
+
+    def candidates(
+        self,
+        role: str,
+        pinned: Mapping[str, Entity],
+        index: RoleIndex | None,
+    ) -> Sequence[Entity] | None:
+        """Admissible window subset for ``role`` given pinned roles.
+
+        Returns ``None`` when no clause restricts this role (the caller
+        then enumerates the full window view), an ordered entity list
+        otherwise.  Order always matches window arrival order, so pruned
+        enumeration visits the same bindings as exhaustive enumeration,
+        minus provable non-matches.
+        """
+        if index is None:
+            return None
+        allowed: set[int] | None = None
+        for clause in self.distances:
+            if role not in (clause.role_a, clause.role_b):
+                continue
+            other = pinned.get(clause.other(role))
+            if other is None:
+                continue
+            anchor = other.occurrence_location
+            if not isinstance(anchor, PointLocation):
+                continue  # field anchor: distance bound not point-reducible
+            found = index.near(anchor, clause.radius)
+            allowed = found if allowed is None else allowed & found
+        for clause in self.regions:
+            if clause.role == role:
+                found = index.covered_by(clause.region)
+                allowed = found if allowed is None else allowed & found
+        for clause in self.near_constants:
+            if clause.role == role:
+                found = index.near(clause.point, clause.radius)
+                allowed = found if allowed is None else allowed & found
+
+        # Temporal ordering constraints against pinned roles become
+        # per-entry tick-bound predicates (window slicing).
+        lo_caps: list[int] = []  # candidate.hi must be < cap
+        hi_floors: list[int] = []  # candidate.lo must be > floor
+        infeasible = False
+        for clause in self.orders:
+            if clause.earlier == role and clause.later in pinned:
+                lo_b, _ = tick_bounds(pinned[clause.later])
+                if lo_b is not None:
+                    lo_caps.append(lo_b - clause.slack)
+            elif clause.later == role and clause.earlier in pinned:
+                pinned_lo, pinned_hi = tick_bounds(pinned[clause.earlier])
+                if pinned_hi is not None:
+                    hi_floors.append(pinned_hi + clause.slack)
+                elif pinned_lo is not None:
+                    # Open interval pinned as the earlier operand: Before
+                    # can never hold, so no candidate can complete a match.
+                    infeasible = True
+        if infeasible:
+            return ()
+        if allowed is None and not lo_caps and not hi_floors:
+            return None
+
+        def admit(lo: int | None, hi: int | None) -> bool:
+            if lo is None and hi is None:
+                return True  # exotic temporal entity: never prune
+            for cap in lo_caps:
+                # hi=None with lo set = open interval: Before cannot hold.
+                if hi is None or hi >= cap:
+                    return False
+            for floor in hi_floors:
+                if lo is None or lo <= floor:
+                    return False
+            return True
+
+        out: list[Entity] = []
+        if allowed is not None:
+            for seq in sorted(allowed):
+                entry = index.entry(seq)
+                if admit(entry.lo, entry.hi):
+                    out.append(entry.entity)
+        else:
+            for entry in index.entries():
+                if admit(entry.lo, entry.hi):
+                    out.append(entry.entity)
+        return out
+
+
+def compile_plan(spec: EventSpecification) -> EvaluationPlan:
+    """Compile a specification's condition tree into an evaluation plan."""
+    singles = frozenset(spec.roles) - spec.group_roles
+    distances: list[DistanceClause] = []
+    regions: list[RegionClause] = []
+    near_constants: list[NearConstantClause] = []
+    orders: list[OrderClause] = []
+
+    for cond in _conjunctive_leaves(spec.condition):
+        if isinstance(cond, SpatialMeasureCondition):
+            if cond.measure != "distance" or cond.op not in (
+                RelationalOp.LT,
+                RelationalOp.LE,
+            ):
+                continue
+            roles = cond.arg_roles
+            if (
+                cond.constant_location is None
+                and len(roles) == 2
+                and roles[0] != roles[1]
+                and set(roles) <= singles
+            ):
+                distances.append(
+                    DistanceClause(roles[0], roles[1], cond.constant)
+                )
+            elif (
+                isinstance(cond.constant_location, PointLocation)
+                and len(roles) == 1
+                and roles[0] in singles
+            ):
+                near_constants.append(
+                    NearConstantClause(
+                        roles[0], cond.constant_location, cond.constant
+                    )
+                )
+        elif isinstance(cond, SpatialCondition):
+            if (
+                cond.op is SpatialOp.INSIDE
+                and isinstance(cond.lhs, LocationOf)
+                and cond.lhs.role in singles
+                and isinstance(cond.rhs, LocationConst)
+                and isinstance(cond.rhs.value, Field)
+            ):
+                regions.append(RegionClause(cond.lhs.role, cond.rhs.value))
+            elif (
+                cond.op is SpatialOp.CONTAINS
+                and isinstance(cond.rhs, LocationOf)
+                and cond.rhs.role in singles
+                and isinstance(cond.lhs, LocationConst)
+                and isinstance(cond.lhs.value, Field)
+            ):
+                regions.append(RegionClause(cond.rhs.role, cond.lhs.value))
+        elif isinstance(cond, TemporalCondition):
+            lhs, rhs = cond.lhs, cond.rhs
+            if not (isinstance(lhs, TimeOf) and isinstance(rhs, TimeOf)):
+                continue
+            if (
+                lhs.role == rhs.role
+                or lhs.role not in singles
+                or rhs.role not in singles
+            ):
+                continue
+            if cond.op is TemporalOp.BEFORE:
+                orders.append(
+                    OrderClause(lhs.role, rhs.role, lhs.offset - rhs.offset)
+                )
+            elif cond.op is TemporalOp.AFTER:
+                orders.append(
+                    OrderClause(rhs.role, lhs.role, rhs.offset - lhs.offset)
+                )
+
+    indexed: set[str] = set()
+    for clause in distances:
+        indexed.update((clause.role_a, clause.role_b))
+    indexed.update(clause.role for clause in regions)
+    indexed.update(clause.role for clause in near_constants)
+    for clause in orders:
+        indexed.update((clause.earlier, clause.later))
+    indexed &= singles
+
+    return EvaluationPlan(
+        spec=spec,
+        distances=tuple(distances),
+        regions=tuple(regions),
+        near_constants=tuple(near_constants),
+        orders=tuple(orders),
+        indexed_roles=frozenset(indexed),
+    )

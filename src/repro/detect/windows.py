@@ -5,12 +5,18 @@ state.  :class:`TickWindow` keeps everything newer than a tick width
 (the specification's ``window``); :class:`CountWindow` keeps the last
 *n* items regardless of age.  Both preserve arrival order, which the
 binding enumerator relies on for deterministic match ordering.
+
+:class:`TickWindow` additionally supports *eviction listeners* — the
+detection engine's spatial/temporal indexes mirror window contents and
+must drop the same entries the window drops — and caches its
+:meth:`~TickWindow.items` view so repeated reads within one evaluation
+round do not copy the backing deque.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Generic, Iterator, TypeVar
+from typing import Callable, Generic, Iterator, Sequence, TypeVar
 
 from repro.core.errors import ConditionError
 
@@ -34,10 +40,23 @@ class TickWindow(Generic[T]):
             raise ConditionError(f"window width cannot be negative: {width}")
         self.width = width
         self._items: deque[tuple[int, T]] = deque()
+        self._listeners: list[Callable[[list[T]], None]] = []
+        self._view: list[T] | None = None
+
+    def on_evict(self, listener: Callable[[list[T]], None]) -> None:
+        """Register a callback invoked with each batch of evicted items.
+
+        Listeners fire in registration order, synchronously from
+        :meth:`evict` (and therefore from :meth:`items`), with the
+        evicted items oldest-first.  Mirroring structures (spatial
+        indexes) rely on eviction being strictly FIFO.
+        """
+        self._listeners.append(listener)
 
     def add(self, item: T, tick: int) -> None:
         """Insert an item observed at ``tick``."""
         self._items.append((tick, item))
+        self._view = None
 
     def evict(self, now: int) -> list[T]:
         """Drop and return items older than the window at ``now``."""
@@ -45,12 +64,22 @@ class TickWindow(Generic[T]):
         cutoff = now - self.width
         while self._items and self._items[0][0] < cutoff:
             evicted.append(self._items.popleft()[1])
+        if evicted:
+            self._view = None
+            for listener in self._listeners:
+                listener(evicted)
         return evicted
 
-    def items(self, now: int) -> list[T]:
-        """Live items at ``now`` (evicting stale ones first)."""
+    def items(self, now: int) -> Sequence[T]:
+        """Live items at ``now`` (evicting stale ones first).
+
+        The returned sequence is a cached view, rebuilt only when the
+        window content changes — callers must treat it as read-only.
+        """
         self.evict(now)
-        return [item for _, item in self._items]
+        if self._view is None:
+            self._view = [item for _, item in self._items]
+        return self._view
 
     def __len__(self) -> int:
         return len(self._items)
@@ -59,8 +88,14 @@ class TickWindow(Generic[T]):
         return (item for _, item in self._items)
 
     def clear(self) -> None:
-        """Drop everything."""
-        self._items.clear()
+        """Drop everything (notifying eviction listeners)."""
+        if self._items:
+            dropped = [item for _, item in self._items]
+            self._items.clear()
+            self._view = None
+            for listener in self._listeners:
+                listener(dropped)
+        self._view = None
 
 
 class CountWindow(Generic[T]):

@@ -30,10 +30,22 @@ from typing import Callable
 from repro.core.errors import SchedulingError, SimulationError
 from repro.core.time_model import TimePoint
 
-__all__ = ["Simulator", "EventHandle", "PRIORITY_NETWORK", "PRIORITY_DEFAULT"]
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "PRIORITY_NETWORK",
+    "PRIORITY_INGEST",
+    "PRIORITY_DEFAULT",
+]
 
 PRIORITY_NETWORK = 0
 """Queue priority for packet deliveries (run first within a tick)."""
+
+PRIORITY_INGEST = 1
+"""Queue priority for observer batch-ingest flushes: after every packet
+delivery of the tick (entities coalesce into one
+:meth:`~repro.detect.engine.DetectionEngine.submit_batch` call) but
+before ordinary work such as sampling reads the resulting instances."""
 
 PRIORITY_DEFAULT = 10
 """Queue priority for ordinary scheduled work."""

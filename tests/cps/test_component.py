@@ -146,3 +146,53 @@ class TestObserverComponent:
         assert observer.ingest(obs(60.0)) == []
         observer.add_spec(spec())
         assert len(observer.ingest(obs(60.0))) == 1
+
+
+class TestBatchedIngestion:
+    def test_ingest_batch_emits_for_each_match(self):
+        observer = make_observer(specs=[spec()])
+        batch = [
+            PhysicalObservation(
+                "MT1", "SR1", seq, TimePoint(5), HERE, {"t": 60.0 + seq}
+            )
+            for seq in range(3)
+        ]
+        emitted = observer.ingest_batch(batch)
+        assert len(emitted) == 3
+        assert observer.engine.stats.batches_submitted == 1
+        assert observer.engine.stats.entities_submitted == 3
+
+    def test_enqueue_coalesces_one_flush_per_tick(self):
+        sim = Simulator()
+        observer = make_observer(sim=sim, specs=[spec()])
+
+        def deliver():
+            observer.enqueue(obs(60.0, tick=sim.tick))
+            observer.enqueue(
+                PhysicalObservation(
+                    "MT2", "SR1", 0, TimePoint(sim.tick), HERE, {"t": 70.0}
+                )
+            )
+
+        sim.schedule(3, deliver)
+        sim.run()
+        assert len(observer.emitted) == 2
+        # Both arrivals ingested in a single engine batch.
+        assert observer.engine.stats.batches_submitted == 1
+        assert observer.engine.stats.entities_submitted == 2
+
+    def test_enqueue_rearms_across_ticks(self):
+        sim = Simulator()
+        observer = make_observer(sim=sim, specs=[spec()])
+        for delay in (1, 2):
+            sim.schedule(
+                delay,
+                lambda d=delay: observer.enqueue(
+                    PhysicalObservation(
+                        "MT1", "SR1", d, TimePoint(sim.tick), HERE, {"t": 60.0}
+                    )
+                ),
+            )
+        sim.run()
+        assert observer.engine.stats.batches_submitted == 2
+        assert len(observer.emitted) == 2

@@ -187,6 +187,178 @@ class TestErrorPolicy:
         assert engine.submit(obs("MT2", tick=2, x=1.0), now=2) == []
 
 
+class TestCooldownIsolation:
+    def test_cooldown_spec_does_not_starve_other_specs(self):
+        # One entity satisfies both specs in the same submit; the
+        # cooldown short-circuit of "hot" must not skip "warm".
+        engine = DetectionEngine([
+            hot_spec(cooldown=10),
+            EventSpecification(
+                event_id="warm",
+                selectors={"x": EntitySelector(kinds={"temp"})},
+                condition=AttributeCondition(
+                    "last", (AttributeTerm("x", "temp"),), RelationalOp.GT, 20.0
+                ),
+            ),
+        ])
+        matches = engine.submit(obs(seq=0, temp=50.0), now=0)
+        assert {m.spec.event_id for m in matches} == {"hot", "warm"}
+        # Next tick: hot is cooling down, warm still fires.
+        matches = engine.submit(obs(seq=1, tick=1, temp=50.0), now=1)
+        assert {m.spec.event_id for m in matches} == {"warm"}
+
+    def test_cooldown_isolated_across_batch_entities(self):
+        engine = DetectionEngine([
+            hot_spec(cooldown=10),
+            EventSpecification(
+                event_id="warm",
+                selectors={"x": EntitySelector(kinds={"temp"})},
+                condition=AttributeCondition(
+                    "last", (AttributeTerm("x", "temp"),), RelationalOp.GT, 20.0
+                ),
+            ),
+        ])
+        matches = engine.submit_batch(
+            [obs(seq=0, temp=50.0), obs(seq=1, temp=60.0)], now=0
+        )
+        by_spec = {}
+        for match in matches:
+            by_spec.setdefault(match.spec.event_id, []).append(match)
+        # hot: first batch entity matches, then cooldown suppresses the
+        # second; warm (no cooldown) matches for both entities.
+        assert len(by_spec["hot"]) == 1
+        assert len(by_spec["warm"]) == 2
+
+
+class TestSeenBounded:
+    def test_seen_dict_stays_bounded_across_long_run(self):
+        # Every submission produces a unique match; without amortized
+        # pruning the dedup dict grows without bound (and the old
+        # implementation rescanned it O(n) per submit past 1024 keys).
+        spec = hot_spec(window=4)
+        engine = DetectionEngine([spec])
+        peak = 0
+        for tick in range(5000):
+            engine.submit(obs(seq=tick, tick=tick, temp=50.0), now=tick)
+            peak = max(peak, len(engine._seen["hot"]))
+        horizon = 2 * (spec.window + 1)
+        # One unique match per tick: at most one entry per tick inside
+        # the retention horizon (plus the entry just added).
+        assert peak <= horizon + 1
+        assert engine.stats.matches == 5000
+
+    def test_prune_keeps_recent_entries(self):
+        engine = DetectionEngine([pair_spec(window=50)])
+        engine.submit(obs("MT1", tick=0), now=0)
+        engine.submit(obs("MT2", tick=2, x=1.0), now=2)
+        assert len(engine._seen["pair"]) == 1
+        # Still inside the horizon a few ticks later.
+        engine.submit(obs("MT3", tick=10, x=2.0), now=10)
+        assert any(t == 2 for t in engine._seen["pair"].values())
+
+
+class TestEngineEdgeCases:
+    def test_dedup_across_re_evaluations_under_batches(self):
+        engine = DetectionEngine([pair_spec(window=50)])
+        first = engine.submit_batch(
+            [obs("MT1", tick=1), obs("MT2", tick=2, x=1.0)], now=2
+        )
+        assert len(first) == 1
+        # Re-evaluation triggered by each later arrival must not re-emit.
+        for tick in (3, 4, 5):
+            later = engine.submit(obs(f"MT{tick}", tick=tick, x=2.0), now=tick)
+            keys = {
+                frozenset(e.key for e in match.entities()) for match in later
+            }
+            assert frozenset({("MT1", "SR1", 0), ("MT2", "SR1", 0)}) not in keys
+
+    def test_group_role_window_emptying_mid_window(self):
+        spec = EventSpecification(
+            event_id="avg_hot",
+            selectors={"g": EntitySelector(kinds={"temp"})},
+            condition=AttributeCondition(
+                "average", (AttributeTerm("g", "temp"),), RelationalOp.GT, 45.0
+            ),
+            window=5,
+            group_roles={"g"},
+        )
+        engine = DetectionEngine([spec])
+        assert len(engine.submit(obs(seq=0, tick=0, temp=60.0), now=0)) == 1
+        # Far past the window: the old group content is gone; the new
+        # entity forms a fresh singleton group (no stale-group binding).
+        matches = engine.submit(obs(seq=1, tick=50, temp=60.0), now=50)
+        assert len(matches) == 1
+        group = matches[0].binding["g"]
+        assert len(group) == 1 and group[0].seq == 1
+
+    def test_distinctness_with_duplicated_entity_keys(self):
+        engine = DetectionEngine([pair_spec(window=50)])
+        # Two distinct objects carrying the SAME provenance key: they
+        # must not pair with each other (distinctness is key-based).
+        engine.submit(obs("MT1", seq=0, tick=1), now=1)
+        matches = engine.submit(obs("MT1", seq=0, tick=2, x=1.0), now=2)
+        assert matches == []
+
+    def test_batch_preserves_sequential_role_assignment_under_cooldown(self):
+        # Symmetric pair spec with cooldown: only the FIRST discovered
+        # binding fires, so discovery order is observable through the
+        # role assignment.  Batched submission must discover bindings in
+        # exactly the sequential order (entity added then evaluated, one
+        # at a time) or the emitted instance's roles silently flip.
+        def cooled_pair():
+            spec = pair_spec(window=50)
+            object.__setattr__(spec, "cooldown", 5)
+            return spec
+
+        a, b = obs("MT1", tick=1), obs("MT2", tick=2, x=1.0)
+
+        sequential = DetectionEngine([cooled_pair()])
+        seq_matches = []
+        for entity in (a, b):
+            seq_matches += sequential.submit(entity, 2)
+
+        batched = DetectionEngine([cooled_pair()])
+        batch_matches = batched.submit_batch([a, b], 2)
+
+        assert len(seq_matches) == len(batch_matches) == 1
+        assert (
+            DetectionEngine._binding_key(seq_matches[0].binding)
+            == DetectionEngine._binding_key(batch_matches[0].binding)
+        )
+        assert {
+            role: bound.mote_id
+            for role, bound in batch_matches[0].binding.items()
+        } == {
+            role: bound.mote_id
+            for role, bound in seq_matches[0].binding.items()
+        }
+
+    def test_submit_batch_empty_is_noop(self):
+        engine = DetectionEngine([hot_spec()])
+        assert engine.submit_batch([], now=0) == []
+        assert engine.stats.entities_submitted == 0
+
+    def test_planner_disabled_engine_builds_no_indexes(self):
+        engine = DetectionEngine([pair_spec(window=10)], use_planner=False)
+        assert engine._indexes["pair"] == {}
+        assert len(engine.submit(obs("MT1", tick=0), now=0)) == 0
+        assert len(engine.submit(obs("MT2", tick=1, x=2.0), now=1)) == 1
+
+    def test_plan_accessor(self):
+        engine = DetectionEngine([pair_spec(window=10)])
+        assert engine.plan("pair").prunable
+        with pytest.raises(ObserverError):
+            engine.plan("ghost")
+
+    def test_clear_flushes_indexes(self):
+        engine = DetectionEngine([pair_spec(window=50)])
+        engine.submit(obs("MT1", tick=1), now=1)
+        engine.clear()
+        for index in engine._indexes["pair"].values():
+            assert len(index) == 0
+        assert engine.submit(obs("MT2", tick=2, x=1.0), now=2) == []
+
+
 class TestBuildInstance:
     def make_match(self):
         engine = DetectionEngine([pair_spec(window=50)])

@@ -1,0 +1,413 @@
+"""Planner compilation, role-index, and planned-vs-exhaustive equivalence.
+
+The load-bearing property is *semantic transparency*: for any
+specification and any workload, the plan-driven engine must produce
+exactly the match set of brute-force enumeration — pruning may only
+skip bindings that provably cannot match.  The differential tests below
+check that on randomized workloads across every clause family the
+planner knows how to extract, plus shapes it must refuse to prune
+(disjunctions, negations, group roles).
+"""
+
+import random
+
+import pytest
+
+from repro.core.composite import all_of, any_of, negation
+from repro.core.conditions import (
+    AttributeCondition,
+    AttributeTerm,
+    LocationConst,
+    LocationOf,
+    SpatialCondition,
+    SpatialMeasureCondition,
+    TemporalCondition,
+    TimeOf,
+)
+from repro.core.operators import RelationalOp, SpatialOp, TemporalOp
+from repro.core.space_model import BoundingBox, Circle, PointLocation
+from repro.core.spec import EntitySelector, EventSpecification
+from repro.detect.engine import DetectionEngine
+from repro.detect.index import RoleIndex
+from repro.detect.planner import compile_plan
+from repro.workloads import synthetic_observations
+
+BOUNDS = BoundingBox(0, 0, 100, 100)
+
+
+def distance_cond(a="a", b="b", radius=15.0):
+    return SpatialMeasureCondition("distance", (a, b), RelationalOp.LT, radius)
+
+
+def before_cond(a="a", b="b", offset=0):
+    return TemporalCondition(TimeOf(a, offset=offset), TemporalOp.BEFORE, TimeOf(b))
+
+
+def pair_selectors():
+    return {
+        "a": EntitySelector(kinds={"value"}),
+        "b": EntitySelector(kinds={"value"}),
+    }
+
+
+class TestPlanCompilation:
+    def test_conjunctive_clauses_extracted(self):
+        spec = EventSpecification(
+            event_id="e",
+            selectors=pair_selectors(),
+            condition=all_of(distance_cond(), before_cond()),
+            window=20,
+        )
+        plan = compile_plan(spec)
+        assert plan.prunable
+        assert len(plan.distances) == 1
+        assert plan.distances[0].radius == 15.0
+        assert len(plan.orders) == 1
+        assert plan.orders[0].earlier == "a" and plan.orders[0].later == "b"
+        assert plan.indexed_roles == {"a", "b"}
+
+    def test_after_swaps_order_clause(self):
+        spec = EventSpecification(
+            event_id="e",
+            selectors=pair_selectors(),
+            condition=TemporalCondition(
+                TimeOf("a"), TemporalOp.AFTER, TimeOf("b")
+            ),
+            window=20,
+        )
+        plan = compile_plan(spec)
+        assert plan.orders[0].earlier == "b" and plan.orders[0].later == "a"
+
+    def test_clauses_under_or_not_extracted(self):
+        spec = EventSpecification(
+            event_id="e",
+            selectors=pair_selectors(),
+            condition=any_of(distance_cond(), before_cond()),
+            window=20,
+        )
+        plan = compile_plan(spec)
+        assert not plan.prunable
+
+    def test_clauses_under_not_not_extracted(self):
+        spec = EventSpecification(
+            event_id="e",
+            selectors=pair_selectors(),
+            condition=negation(distance_cond()),
+            window=20,
+        )
+        assert not compile_plan(spec).prunable
+
+    def test_group_roles_never_pruned(self):
+        spec = EventSpecification(
+            event_id="e",
+            selectors=pair_selectors(),
+            condition=distance_cond(),
+            window=20,
+            group_roles={"a"},
+        )
+        plan = compile_plan(spec)
+        assert not plan.prunable
+        assert plan.indexed_roles == frozenset()
+
+    def test_region_clause_from_inside_constant(self):
+        region = BoundingBox(0, 0, 30, 30)
+        spec = EventSpecification(
+            event_id="e",
+            selectors={"x": EntitySelector(kinds={"value"})},
+            condition=SpatialCondition(
+                LocationOf("x"), SpatialOp.INSIDE, LocationConst(region)
+            ),
+            window=10,
+        )
+        plan = compile_plan(spec)
+        assert len(plan.regions) == 1
+        assert plan.regions[0].region is region
+
+    def test_near_constant_clause(self):
+        spec = EventSpecification(
+            event_id="e",
+            selectors={"x": EntitySelector(kinds={"value"})},
+            condition=SpatialMeasureCondition(
+                "distance",
+                ("x",),
+                RelationalOp.LE,
+                10.0,
+                constant_location=PointLocation(50, 50),
+            ),
+            window=10,
+        )
+        plan = compile_plan(spec)
+        assert len(plan.near_constants) == 1
+        assert plan.describe() != "<exhaustive>"
+
+    def test_attribute_conditions_not_prunable(self):
+        spec = EventSpecification(
+            event_id="e",
+            selectors={"x": EntitySelector(kinds={"value"})},
+            condition=AttributeCondition(
+                "last", (AttributeTerm("x", "value"),), RelationalOp.GT, 50.0
+            ),
+        )
+        assert not compile_plan(spec).prunable
+
+
+class TestRoleIndex:
+    def _obs(self, x, y, tick=0, mote="MT1", seq=0):
+        from repro.core.instance import PhysicalObservation
+        from repro.core.time_model import TimePoint
+
+        return PhysicalObservation(
+            mote, "SR1", seq, TimePoint(tick), PointLocation(x, y), {"value": 1.0}
+        )
+
+    def test_near_returns_only_reachable_points(self):
+        index = RoleIndex(cell_size=10.0)
+        close = self._obs(5, 5)
+        far = self._obs(90, 90, seq=1)
+        s_close = index.add(close)
+        index.add(far)
+        found = index.near(PointLocation(0, 0), 10.0)
+        assert found == {s_close}
+
+    def test_field_located_entities_always_candidates(self):
+        from repro.core.instance import PhysicalObservation
+        from repro.core.time_model import TimePoint
+
+        field_located = PhysicalObservation(
+            "MT1", "SR1", 0, TimePoint(0), Circle(PointLocation(90, 90), 5.0),
+            {"value": 1.0},
+        )
+        index = RoleIndex(cell_size=10.0)
+        seq = index.add(field_located)
+        assert seq in index.near(PointLocation(0, 0), 1.0)
+        assert seq in index.covered_by(BoundingBox(0, 0, 1, 1))
+
+    def test_eviction_mirrors_fifo(self):
+        index = RoleIndex(cell_size=10.0)
+        seqs = [index.add(self._obs(i, i, seq=i)) for i in range(5)]
+        index.evict(2)
+        assert len(index) == 3
+        live = [entry.seq for entry in index.entries()]
+        assert live == seqs[2:]
+        assert index.near(PointLocation(0, 0), 200.0) == set(seqs[2:])
+
+    def test_covered_by_filters_exactly(self):
+        index = RoleIndex(cell_size=10.0)
+        inside = index.add(self._obs(10, 10))
+        index.add(self._obs(50, 50, seq=1))
+        assert index.covered_by(BoundingBox(0, 0, 20, 20)) == {inside}
+
+
+def run_engines(specs, observations):
+    """Match-key sets and stats for planned vs exhaustive evaluation."""
+    results = []
+    for use_planner in (True, False):
+        engine = DetectionEngine(specs, use_planner=use_planner)
+        keys = set()
+        for obs in observations:
+            for match in engine.submit(obs, obs.time.tick):
+                keys.add(
+                    (match.spec.event_id, engine._binding_key(match.binding))
+                )
+        results.append((keys, engine.stats))
+    return results
+
+
+class TestDifferentialEquivalence:
+    """Planner-pruned matches == exhaustive matches, randomized workloads."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_spatial_temporal_pair(self, seed):
+        observations = synthetic_observations(
+            400, rate=1.0, bounds=BOUNDS, rng=random.Random(seed)
+        )
+        spec = EventSpecification(
+            event_id="pair",
+            selectors=pair_selectors(),
+            condition=all_of(distance_cond(radius=18.0), before_cond()),
+            window=30,
+        )
+        (planned, p_stats), (naive, n_stats) = run_engines([spec], observations)
+        assert planned == naive
+        assert p_stats.matches == n_stats.matches
+        assert p_stats.bindings_evaluated <= n_stats.bindings_evaluated
+
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_offset_temporal_orders(self, seed):
+        observations = synthetic_observations(
+            300, rate=1.0, bounds=BOUNDS, rng=random.Random(seed)
+        )
+        spec = EventSpecification(
+            event_id="ordered",
+            selectors=pair_selectors(),
+            condition=TemporalCondition(
+                TimeOf("a", offset=5), TemporalOp.BEFORE, TimeOf("b")
+            ),
+            window=25,
+        )
+        (planned, _), (naive, _) = run_engines([spec], observations)
+        assert planned == naive
+
+    @pytest.mark.parametrize("seed", [6, 7])
+    def test_region_and_near_constant(self, seed):
+        observations = synthetic_observations(
+            300, rate=1.0, bounds=BOUNDS, rng=random.Random(seed)
+        )
+        region_spec = EventSpecification(
+            event_id="in_region",
+            selectors={"x": EntitySelector(kinds={"value"})},
+            condition=all_of(
+                SpatialCondition(
+                    LocationOf("x"),
+                    SpatialOp.INSIDE,
+                    LocationConst(BoundingBox(10, 10, 45, 45)),
+                ),
+                AttributeCondition(
+                    "last", (AttributeTerm("x", "value"),), RelationalOp.GT, 45.0
+                ),
+            ),
+            window=10,
+        )
+        near_spec = EventSpecification(
+            event_id="near_hq",
+            selectors={"x": EntitySelector(kinds={"value"})},
+            condition=SpatialMeasureCondition(
+                "distance",
+                ("x",),
+                RelationalOp.LT,
+                20.0,
+                constant_location=PointLocation(50, 50),
+            ),
+            window=10,
+        )
+        (planned, p_stats), (naive, n_stats) = run_engines(
+            [region_spec, near_spec], observations
+        )
+        assert planned == naive
+        assert p_stats.bindings_evaluated < n_stats.bindings_evaluated
+
+    @pytest.mark.parametrize("seed", [8, 9])
+    def test_disjunctive_falls_back_identically(self, seed):
+        observations = synthetic_observations(
+            250, rate=1.0, bounds=BOUNDS, rng=random.Random(seed)
+        )
+        spec = EventSpecification(
+            event_id="either",
+            selectors=pair_selectors(),
+            condition=any_of(distance_cond(radius=10.0), before_cond()),
+            window=15,
+        )
+        (planned, p_stats), (naive, n_stats) = run_engines([spec], observations)
+        assert planned == naive
+        # No prunable clause: both paths evaluate the same bindings.
+        assert p_stats.bindings_evaluated == n_stats.bindings_evaluated
+
+    @pytest.mark.parametrize("seed", [10, 11])
+    def test_group_role_with_spatial_pair(self, seed):
+        observations = synthetic_observations(
+            250, rate=1.0, bounds=BOUNDS, rng=random.Random(seed)
+        )
+        spec = EventSpecification(
+            event_id="grouped",
+            selectors={
+                "g": EntitySelector(kinds={"value"}),
+                "x": EntitySelector(kinds={"value"}),
+            },
+            condition=all_of(
+                AttributeCondition(
+                    "average", (AttributeTerm("g", "value"),), RelationalOp.GT, 40.0
+                ),
+                SpatialMeasureCondition(
+                    "distance",
+                    ("x",),
+                    RelationalOp.LT,
+                    35.0,
+                    constant_location=PointLocation(50, 50),
+                ),
+            ),
+            window=12,
+            group_roles={"g"},
+        )
+        (planned, _), (naive, _) = run_engines([spec], observations)
+        assert planned == naive
+
+    def test_three_role_chain(self):
+        observations = synthetic_observations(
+            250, rate=1.0, bounds=BOUNDS, rng=random.Random(12)
+        )
+        spec = EventSpecification(
+            event_id="chain",
+            selectors={
+                "a": EntitySelector(kinds={"value"}),
+                "b": EntitySelector(kinds={"value"}),
+                "c": EntitySelector(kinds={"value"}),
+            },
+            condition=all_of(
+                distance_cond("a", "b", 20.0),
+                distance_cond("b", "c", 20.0),
+                before_cond("a", "c"),
+            ),
+            window=15,
+        )
+        (planned, p_stats), (naive, n_stats) = run_engines([spec], observations)
+        assert planned == naive
+        assert p_stats.bindings_evaluated < n_stats.bindings_evaluated
+
+    def test_batched_equals_sequential(self):
+        from dataclasses import replace
+
+        from repro.core.time_model import TimePoint
+
+        observations = [
+            replace(obs, time=TimePoint(obs.time.tick // 3))
+            for obs in synthetic_observations(
+                300, rate=1.0, bounds=BOUNDS, rng=random.Random(13)
+            )
+        ]
+        spec = EventSpecification(
+            event_id="pair",
+            selectors=pair_selectors(),
+            condition=all_of(distance_cond(radius=18.0), before_cond()),
+            window=20,
+        )
+
+        sequential = DetectionEngine([spec])
+        seq_keys = set()
+        for obs in observations:
+            for match in sequential.submit(obs, obs.time.tick):
+                seq_keys.add(sequential._binding_key(match.binding))
+
+        import itertools
+
+        batched = DetectionEngine([spec])
+        batch_keys = set()
+        for tick, group in itertools.groupby(
+            observations, key=lambda o: o.time.tick
+        ):
+            for match in batched.submit_batch(list(group), tick):
+                batch_keys.add(batched._binding_key(match.binding))
+
+        assert batch_keys == seq_keys
+        assert batched.stats.batches_submitted < sequential.stats.batches_submitted
+
+
+class TestPruningEffectiveness:
+    """Acceptance guard: ≥2x fewer bindings on spatially-selective specs."""
+
+    def test_reduction_at_least_2x_on_selective_workload(self):
+        observations = synthetic_observations(
+            600, rate=1.0, bounds=BOUNDS, rng=random.Random(5)
+        )
+        spec = EventSpecification(
+            event_id="pair",
+            selectors=pair_selectors(),
+            condition=all_of(
+                before_cond(),
+                distance_cond(radius=20.0),
+            ),
+            window=40,
+        )
+        (planned, p_stats), (naive, n_stats) = run_engines([spec], observations)
+        assert planned == naive
+        assert p_stats.bindings_evaluated * 2 <= n_stats.bindings_evaluated
+        assert p_stats.candidates_pruned > 0

@@ -83,3 +83,66 @@ class TestCountWindow:
         assert len(window) == 2
         window.clear()
         assert len(window) == 0
+
+
+class TestTickWindowEvictionHooks:
+    def test_listener_receives_evicted_items_fifo(self):
+        window = TickWindow(width=2)
+        evicted = []
+        window.on_evict(evicted.extend)
+        window.add("a", 0)
+        window.add("b", 1)
+        window.add("c", 5)
+        window.evict(5)
+        assert evicted == ["a", "b"]
+
+    def test_listener_fires_from_items_view(self):
+        window = TickWindow(width=1)
+        evicted = []
+        window.on_evict(evicted.extend)
+        window.add("a", 0)
+        assert window.items(10) == []
+        assert evicted == ["a"]
+
+    def test_clear_notifies_listeners(self):
+        window = TickWindow(width=10)
+        evicted = []
+        window.on_evict(evicted.extend)
+        window.add("a", 0)
+        window.add("b", 0)
+        window.clear()
+        assert evicted == ["a", "b"]
+        assert len(window) == 0
+
+    def test_multiple_listeners_in_order(self):
+        window = TickWindow(width=0)
+        calls = []
+        window.on_evict(lambda items: calls.append(("first", list(items))))
+        window.on_evict(lambda items: calls.append(("second", list(items))))
+        window.add("x", 0)
+        window.evict(3)
+        assert calls == [("first", ["x"]), ("second", ["x"])]
+
+
+class TestTickWindowCachedView:
+    def test_items_view_is_cached_between_reads(self):
+        window = TickWindow(width=10)
+        window.add("a", 0)
+        first = window.items(0)
+        second = window.items(0)
+        assert first is second  # no per-call copy
+
+    def test_view_invalidated_by_add(self):
+        window = TickWindow(width=10)
+        window.add("a", 0)
+        view = window.items(0)
+        window.add("b", 1)
+        assert window.items(1) == ["a", "b"]
+        assert view == ["a"]  # old view untouched
+
+    def test_view_invalidated_by_eviction(self):
+        window = TickWindow(width=2)
+        window.add("a", 0)
+        assert window.items(0) == ["a"]
+        window.add("b", 3)
+        assert window.items(5) == ["b"]
