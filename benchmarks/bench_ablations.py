@@ -137,14 +137,14 @@ class TestConditionPlacement:
 
 
 class TestLocalizationPolicy:
-    def test_error_vs_noise(self, benchmark, report):
+    def test_error_vs_noise(self, benchmark, report, scale):
         anchors = [
             PointLocation(0, 0), PointLocation(30, 0),
             PointLocation(0, 30), PointLocation(30, 30),
         ]
         target = PointLocation(18.0, 11.0)
         rng = random.Random(4)
-        trials = 200
+        trials = scale(200, 50)
 
         def sweep():
             rows = []

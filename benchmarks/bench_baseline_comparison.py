@@ -215,8 +215,8 @@ def run_rtl(entities, window=40):
 
 
 class TestE8BaselineComparison:
-    def test_expressiveness_gap(self, benchmark, report):
-        entities, true_motions = build_workload()
+    def test_expressiveness_gap(self, benchmark, report, scale):
+        entities, true_motions = build_workload(episodes=scale(60, 20))
         total_motions = sum(1 for name, _ in entities if name == "motion")
 
         def run_all():

@@ -73,10 +73,11 @@ class TestE4ConditionS1:
             ),
         )
 
-    def test_s1_evaluation_throughput(self, benchmark, report):
+    def test_s1_evaluation_throughput(self, benchmark, report, scale):
         condition = self.make_condition()
+        count = scale(500, 100)
         pairs = []
-        for index in range(500):
+        for index in range(count):
             a = PhysicalObservation(
                 "MT1", "SR", index, TimePoint(index),
                 PointLocation(index % 7, 0.0), {"v": 1.0},
@@ -93,11 +94,11 @@ class TestE4ConditionS1:
         positives = benchmark(evaluate_all)
         report(
             "",
-            "[E4] composite condition S1 over 500 observation pairs",
-            f"  satisfied bindings : {positives}/500",
-            "  (timing row: full 500-pair evaluation pass)",
+            f"[E4] composite condition S1 over {count} observation pairs",
+            f"  satisfied bindings : {positives}/{count}",
+            f"  (timing row: full {count}-pair evaluation pass)",
         )
-        assert 0 < positives < 500  # both outcomes exercised
+        assert 0 < positives < count  # both outcomes exercised
 
 
 class TestE5FieldEvent:

@@ -73,8 +73,8 @@ def stream(count=2000, seed=5):
 
 class TestE9EngineScaling:
     @pytest.mark.parametrize("spec_count", [1, 4, 16])
-    def test_throughput_vs_spec_count(self, benchmark, report, spec_count):
-        observations = stream()
+    def test_throughput_vs_spec_count(self, benchmark, report, scale, spec_count):
+        observations = stream(count=scale(2000))
         specs = [single_role_spec(i) for i in range(spec_count)]
 
         def run():
@@ -92,8 +92,8 @@ class TestE9EngineScaling:
         assert stats.entities_submitted == len(observations)
 
     @pytest.mark.parametrize("window", [5, 20, 80])
-    def test_throughput_vs_window(self, benchmark, report, window):
-        observations = stream(count=800)
+    def test_throughput_vs_window(self, benchmark, report, scale, window):
+        observations = stream(count=scale(800))
         spec = pair_spec(window)
 
         def run():
@@ -109,8 +109,8 @@ class TestE9EngineScaling:
         )
         assert stats.bindings_evaluated > 0
 
-    def test_binding_volume_grows_with_window(self, benchmark, report):
-        observations = stream(count=800)
+    def test_binding_volume_grows_with_window(self, benchmark, report, scale):
+        observations = stream(count=scale(800))
 
         def sweep():
             volumes = []
@@ -136,8 +136,8 @@ def match_keys(engine, matches):
 class TestE9IndexedVsNaive:
     """Plan-driven pruning vs brute force at identical semantics."""
 
-    def test_indexed_engine_prunes_bindings(self, benchmark, report):
-        observations = stream(count=1500)
+    def test_indexed_engine_prunes_bindings(self, benchmark, report, scale):
+        observations = stream(count=scale(1500, 600))
         specs = [pair_spec(40)]
 
         def run(use_planner):
@@ -166,7 +166,7 @@ class TestE9IndexedVsNaive:
         assert indexed_stats.bindings_evaluated < naive_stats.bindings_evaluated
         assert reduction >= 2.0
 
-    def test_batched_submission_amortizes(self, benchmark, report):
+    def test_batched_submission_amortizes(self, benchmark, report, scale):
         from dataclasses import replace
 
         from repro.core.time_model import TimePoint
@@ -176,7 +176,7 @@ class TestE9IndexedVsNaive:
         # two arrivals on the same tick).
         observations = [
             replace(obs, time=TimePoint(obs.time.tick // 4))
-            for obs in stream(count=1500)
+            for obs in stream(count=scale(1500, 600))
         ]
         specs = [pair_spec(40)]
 

@@ -3,9 +3,59 @@
 Every benchmark prints the rows/series it reproduces through
 :func:`report`, which bypasses pytest's output capture so the numbers
 land in ``bench_output.txt`` alongside pytest-benchmark's timing table.
+
+``--quick`` turns the whole suite into a smoke run for CI: timing loops
+are disabled (every benchmarked callable runs exactly once) and the
+:func:`scale` fixture shrinks workload sizes, so each ``bench_*.py``
+stays exercised — imports, workload builders, assertions — without the
+cost of statistically meaningful measurement.  Full runs omit the flag.
 """
 
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help=(
+            "Smoke mode: run every benchmark once with scaled-down "
+            "workloads and no timing (CI uses this so benchmarks cannot "
+            "silently rot)."
+        ),
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--quick"):
+        # Equivalent to --benchmark-disable: the benchmark fixture calls
+        # the function once and records no timings.
+        config.option.benchmark_disable = True
+
+
+@pytest.fixture
+def quick(request) -> bool:
+    """Whether the suite runs in --quick smoke mode."""
+    return request.config.getoption("--quick")
+
+
+@pytest.fixture
+def scale(quick):
+    """Workload-size picker: ``scale(full)`` or ``scale(full, quick_n)``.
+
+    Full runs return ``full`` unchanged; quick runs return ``quick_n``
+    when given, else ``full // 10`` (at least 1).
+    """
+
+    def pick(full: int, quick_n: int | None = None) -> int:
+        if not quick:
+            return full
+        if quick_n is not None:
+            return quick_n
+        return max(1, full // 10)
+
+    return pick
 
 
 @pytest.fixture

@@ -21,6 +21,7 @@ The :class:`ControlUnit`:
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Sequence
 
 from repro.core.event import EventLayer
@@ -52,6 +53,8 @@ class ControlUnit(ObserverComponent):
         dispatch: Command delivery toward dispatch nodes.
         processing_ticks: Decision latency between a match and the
             instance/command leaving the CCU.
+        use_planner: Engine evaluation mode (see
+            :class:`~repro.cps.component.ObserverComponent`).
         trace: Optional trace recorder.
     """
 
@@ -65,6 +68,7 @@ class ControlUnit(ObserverComponent):
         publish: PublishCallback | None = None,
         dispatch: DispatchCallback | None = None,
         processing_ticks: int = 0,
+        use_planner: bool = True,
         trace: TraceRecorder | None = None,
     ):
         super().__init__(
@@ -75,6 +79,7 @@ class ControlUnit(ObserverComponent):
             layer=EventLayer.CYBER,
             instance_cls=CyberEventInstance,
             specs=specs,
+            use_planner=use_planner,
             trace=trace,
         )
         self.rules = list(rules)
@@ -83,6 +88,7 @@ class ControlUnit(ObserverComponent):
         self.processing_ticks = max(0, processing_ticks)
         self.received_instances: list[EventInstance] = []
         self.issued_commands: list[ActuatorCommand] = []
+        self._next_command_id = 1
 
     def add_rule(self, rule: ActionRule) -> None:
         """Install another Event-Action rule."""
@@ -123,6 +129,13 @@ class ControlUnit(ObserverComponent):
     def _apply_rules(self, instance: EventInstance) -> None:
         for rule in self.rules:
             for command in rule.consider(instance, self.sim.tick):
+                # Rule factories leave the dataclass default in place — a
+                # process-global counter whose value depends on every
+                # command any earlier system in the process issued.
+                # Renumber with a per-CCU sequence so same-seed runs
+                # trace byte-identically (the golden-trace contract).
+                command = replace(command, command_id=self._next_command_id)
+                self._next_command_id += 1
                 self.issued_commands.append(command)
                 self.record(
                     "ccu.command",

@@ -84,6 +84,9 @@ class ObserverComponent(CPSComponent):
         layer: Hierarchy layer of emitted instances.
         instance_cls: Concrete instance dataclass to emit.
         specs: Event specifications to install.
+        use_planner: Evaluate through compiled plans (default); ``False``
+            forces the engine's exhaustive baseline — same match sets —
+            which the conformance suite runs whole systems on.
         trace: Optional trace recorder.
     """
 
@@ -96,13 +99,14 @@ class ObserverComponent(CPSComponent):
         layer: EventLayer,
         instance_cls: type[EventInstance],
         specs: Sequence[EventSpecification] = (),
+        use_planner: bool = True,
         trace: TraceRecorder | None = None,
     ):
         super().__init__(name, location, sim, trace)
         self.observer_id = ObserverId(kind, name)
         self.layer = layer
         self.instance_cls = instance_cls
-        self.engine = DetectionEngine(specs)
+        self.engine = DetectionEngine(specs, use_planner=use_planner)
         self._seq: dict[str, int] = {}
         self._inbox: list[Entity] = []
         self._flush_scheduled = False

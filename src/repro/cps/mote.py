@@ -103,6 +103,8 @@ class SensorMote(ObserverComponent):
         interval_events: Interval event configurations.
         sampling_offset: First sampling tick (stagger motes to avoid
             synchronized storms); defaults to one period.
+        use_planner: Engine evaluation mode (see
+            :class:`~repro.cps.component.ObserverComponent`).
         trace: Optional trace recorder.
     """
 
@@ -118,6 +120,7 @@ class SensorMote(ObserverComponent):
         specs: Sequence[EventSpecification] = (),
         interval_events: Sequence[IntervalEventConfig] = (),
         sampling_offset: int | None = None,
+        use_planner: bool = True,
         trace: TraceRecorder | None = None,
     ):
         super().__init__(
@@ -128,6 +131,7 @@ class SensorMote(ObserverComponent):
             layer=EventLayer.SENSOR,
             instance_cls=SensorEventInstance,
             specs=specs,
+            use_planner=use_planner,
             trace=trace,
         )
         if sampling_period < 1:

@@ -59,6 +59,8 @@ class SinkNode(ObserverComponent):
             wiring time via :attr:`publish` if not given here.
         trilaterate_attribute: Range attribute used for multilateration
             refinement (``None`` disables).
+        use_planner: Engine evaluation mode (see
+            :class:`~repro.cps.component.ObserverComponent`).
         trace: Optional trace recorder.
     """
 
@@ -71,6 +73,7 @@ class SinkNode(ObserverComponent):
         network: WirelessNetwork | None = None,
         publish: PublishCallback | None = None,
         trilaterate_attribute: str | None = None,
+        use_planner: bool = True,
         trace: TraceRecorder | None = None,
     ):
         super().__init__(
@@ -81,6 +84,7 @@ class SinkNode(ObserverComponent):
             layer=EventLayer.CYBER_PHYSICAL,
             instance_cls=CyberPhysicalEventInstance,
             specs=specs,
+            use_planner=use_planner,
             trace=trace,
         )
         self.publish = publish

@@ -57,6 +57,11 @@ class CPSSystem:
         bus_latency: Event bus delivery latency in ticks.
         backbone_latency: Wired backbone latency in ticks.
         world_step_period: Ticks between physical-world dynamics steps.
+        use_planner: Engine evaluation mode installed in every observer
+            this system builds; ``False`` runs the whole deployment on
+            the exhaustive baseline engine (identical behavior, more
+            bindings evaluated), which the conformance harness compares
+            against the plan-driven default.
     """
 
     def __init__(
@@ -65,9 +70,11 @@ class CPSSystem:
         bus_latency: int = 1,
         backbone_latency: int = 1,
         world_step_period: int = 1,
+        use_planner: bool = True,
     ):
         if world_step_period < 1:
             raise ComponentError("world step period must be >= 1")
+        self.use_planner = use_planner
         self.sim = Simulator(seed)
         self.trace = TraceRecorder()
         self.world = PhysicalWorld()
@@ -166,6 +173,7 @@ class CPSSystem:
             specs=specs,
             interval_events=interval_events,
             sampling_offset=sampling_offset,
+            use_planner=self.use_planner,
             trace=self.trace,
         )
         self.motes[name] = mote
@@ -191,6 +199,7 @@ class CPSSystem:
             network=self.sensor_network,
             publish=self.bus.publish,
             trilaterate_attribute=trilaterate_attribute,
+            use_planner=self.use_planner,
             trace=self.trace,
         )
         self.sinks[name] = sink
@@ -217,6 +226,7 @@ class CPSSystem:
             publish=self.bus.publish,
             dispatch=self._make_dispatch_callback(name),
             processing_ticks=processing_ticks,
+            use_planner=self.use_planner,
             trace=self.trace,
         )
         self.bus.subscribe(

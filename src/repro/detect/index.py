@@ -38,7 +38,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.core.entity import Entity
-from repro.core.space_model import Field, PointLocation
+from repro.core.space_model import EPS, Field, PointLocation
 from repro.core.time_model import TimeInterval, TimePoint
 
 __all__ = ["RoleIndex", "DEFAULT_CELL_SIZE", "tick_bounds"]
@@ -208,8 +208,12 @@ class RoleIndex:
         found = set(self._unlocated)
         bbox = region.bounding_box()
         entries = self._entries
+        # Every Field.contains_point forgives up to EPS beyond its exact
+        # boundary; sweep EPS-padded buckets so a boundary-tolerant hit
+        # sitting in the next cell over is never skipped (superset
+        # guard — the exact containment test below still decides).
         for bucket in self._buckets_in(
-            bbox.min_x, bbox.max_x, bbox.min_y, bbox.max_y
+            bbox.min_x - EPS, bbox.max_x + EPS, bbox.min_y - EPS, bbox.max_y + EPS
         ):
             for seq in bucket:
                 if region.contains_point(entries[seq].point):

@@ -16,6 +16,7 @@ latency — since the paper treats it as a conventional network.
 
 from __future__ import annotations
 
+import itertools
 from typing import Callable
 
 from repro.core.errors import NetworkError
@@ -89,6 +90,11 @@ class WirelessNetwork:
         self._handlers: dict[str, ReceiveHandler] = {}
         self.delivered_count = 0
         self.dropped_count = 0
+        # Per-fabric packet numbering: the dataclass default is a
+        # process-global counter, which would make traced packet ids —
+        # and therefore trace digests — depend on every network that ran
+        # earlier in the process.
+        self._packet_seq = itertools.count(1)
 
     def register(self, name: str, handler: ReceiveHandler) -> None:
         """Install the receive callback for a node."""
@@ -111,6 +117,7 @@ class WirelessNetwork:
             payload=payload,
             created_tick=self.sim.tick,
             size_bytes=size_bytes,
+            packet_id=next(self._packet_seq),
         )
         self._transmit(packet, path)
         return packet
@@ -128,6 +135,7 @@ class WirelessNetwork:
             payload=payload,
             created_tick=self.sim.tick,
             size_bytes=size_bytes,
+            packet_id=next(self._packet_seq),
         )
         self._transmit(packet, path)
         return packet
@@ -219,6 +227,9 @@ class WiredBackbone:
         self.trace = trace
         self._handlers: dict[str, ReceiveHandler] = {}
         self.delivered_count = 0
+        # Per-backbone numbering for the same reason as the wireless
+        # fabric: traced ids must not leak cross-run process state.
+        self._packet_seq = itertools.count(1)
 
     def register(self, name: str, handler: ReceiveHandler) -> None:
         """Install the receive callback for a backbone endpoint."""
@@ -236,6 +247,7 @@ class WiredBackbone:
             payload=payload,
             created_tick=self.sim.tick,
             size_bytes=size_bytes,
+            packet_id=next(self._packet_seq),
         )
 
         def deliver() -> None:

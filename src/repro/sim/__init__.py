@@ -7,7 +7,17 @@ from repro.sim.kernel import (
     Simulator,
 )
 from repro.sim.rng import RngStreams
-from repro.sim.trace import TraceRecord, TraceRecorder, percentile, summarize
+from repro.sim.trace import (
+    TraceRecord,
+    TraceRecorder,
+    canonical_payload,
+    from_jsonl,
+    percentile,
+    record_to_json,
+    summarize,
+    to_jsonl,
+    trace_digest,
+)
 
 __all__ = [
     "Simulator",
@@ -17,6 +27,11 @@ __all__ = [
     "RngStreams",
     "TraceRecord",
     "TraceRecorder",
+    "canonical_payload",
+    "record_to_json",
+    "to_jsonl",
+    "from_jsonl",
+    "trace_digest",
     "summarize",
     "percentile",
 ]

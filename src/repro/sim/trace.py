@@ -1,19 +1,43 @@
-"""Simulation tracing and summary statistics.
+"""Simulation tracing, record/replay serialization and summary statistics.
 
 Every CPS component can publish :class:`TraceRecord` rows to a shared
 :class:`TraceRecorder`; the benchmark harness and the EDL analysis read
 them back with simple filters.  Records are plain data (tick, category,
 source, payload) so traces can be asserted on in tests and dumped for
 inspection without any custom tooling.
+
+Record/replay: :func:`to_jsonl` serializes records to a *canonical* JSON
+Lines form (sorted keys, compact separators, shortest-roundtrip floats,
+enums by qualified name, exotic objects by ``repr``) and
+:func:`from_jsonl` loads them back as :class:`TraceRecord` rows (payload
+values come back as plain JSON types).  Because the form is canonical,
+equal traces serialize to identical bytes, which makes
+:func:`trace_digest` — a SHA-256 over the serialized lines — a stable
+fingerprint of a run: the golden-trace conformance suite pins scenario
+behavior on these digests, and the determinism regression asserts two
+same-seed runs produce byte-identical ones.
 """
 
 from __future__ import annotations
 
+import enum
+import hashlib
+import json
 import math
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Mapping
 
-__all__ = ["TraceRecord", "TraceRecorder", "summarize", "percentile"]
+__all__ = [
+    "TraceRecord",
+    "TraceRecorder",
+    "canonical_payload",
+    "record_to_json",
+    "to_jsonl",
+    "from_jsonl",
+    "trace_digest",
+    "summarize",
+    "percentile",
+]
 
 
 @dataclass(frozen=True)
@@ -75,9 +99,135 @@ class TraceRecorder:
             return len(self._records)
         return sum(1 for r in self._records if r.category == category)
 
+    def filtered(self, categories: Iterable[str]) -> list[TraceRecord]:
+        """All records whose category is in ``categories``, in time order."""
+        wanted = frozenset(categories)
+        return [r for r in self._records if r.category in wanted]
+
     def clear(self) -> None:
         """Drop all records (listeners stay subscribed)."""
         self._records.clear()
+
+    def replay(self, records: Iterable[TraceRecord]) -> None:
+        """Append pre-built records (a loaded trace), notifying listeners.
+
+        Lets trace consumers (analysis, summaries) run against a trace
+        saved by :func:`to_jsonl` exactly as they would against a live
+        run.
+        """
+        for rec in records:
+            self._records.append(rec)
+            for listener in self._listeners:
+                listener(rec)
+
+    def to_jsonl(self, categories: Iterable[str] | None = None) -> str:
+        """Canonical JSON Lines serialization of the (filtered) trace."""
+        records = self._records if categories is None else self.filtered(categories)
+        return to_jsonl(records)
+
+    def digest(self, categories: Iterable[str] | None = None) -> str:
+        """Stable SHA-256 fingerprint of the (filtered) trace."""
+        records = self._records if categories is None else self.filtered(categories)
+        return trace_digest(records)
+
+
+# ----------------------------------------------------------------------
+# canonical serialization and digesting
+# ----------------------------------------------------------------------
+
+def canonical_payload(value: object) -> object:
+    """Reduce a payload value to a JSON-able canonical form.
+
+    JSON scalars pass through; mappings canonicalize recursively with
+    string keys; sequences become lists; enums serialize as
+    ``ClassName.MEMBER``; anything else falls back to ``repr``.  A repr
+    carrying a memory address (the ``object.__repr__`` default) is
+    rejected loudly: it would differ every process and silently break
+    the golden-digest contract, so the offending payload is named in a
+    :class:`ValueError` instead.  Non-finite floats become their string
+    names so the output stays strict JSON.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else repr(value)
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, Mapping):
+        return {str(k): canonical_payload(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [canonical_payload(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        # Sets have no stable iteration order; canonicalize then sort
+        # on the serialized form.
+        members = [canonical_payload(v) for v in value]
+        return sorted(members, key=lambda m: json.dumps(m, sort_keys=True))
+    text = repr(value)
+    if type(value).__repr__ is object.__repr__ or " at 0x" in text:
+        raise ValueError(
+            f"payload value {text} of type {type(value).__name__} has no "
+            "deterministic repr; trace digests would differ per process"
+        )
+    return text
+
+
+def record_to_json(record: TraceRecord) -> str:
+    """One record as a canonical single-line JSON object."""
+    return json.dumps(
+        {
+            "tick": record.tick,
+            "category": record.category,
+            "source": record.source,
+            "payload": canonical_payload(record.payload),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def to_jsonl(records: Iterable[TraceRecord]) -> str:
+    """Records as canonical JSON Lines (one record per line)."""
+    return "\n".join(record_to_json(r) for r in records)
+
+
+def from_jsonl(text: str) -> list[TraceRecord]:
+    """Load records serialized by :func:`to_jsonl`.
+
+    Payload values come back as the JSON types they canonicalized to
+    (reprs stay strings); tick/category/source round-trip exactly, so
+    ``to_jsonl(from_jsonl(text)) == text``.
+    """
+    records: list[TraceRecord] = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        row = json.loads(line)
+        records.append(
+            TraceRecord(
+                tick=row["tick"],
+                category=row["category"],
+                source=row["source"],
+                payload=row.get("payload", {}),
+            )
+        )
+    return records
+
+
+def trace_digest(records: Iterable[TraceRecord]) -> str:
+    """SHA-256 hex digest of the canonical serialization of ``records``.
+
+    Equal traces — same records in the same order — always digest
+    identically, across processes and Python versions; any behavioral
+    drift (a shifted tick, a changed confidence, a missing emission)
+    changes the digest.
+    """
+    hasher = hashlib.sha256()
+    for record in records:
+        hasher.update(record_to_json(record).encode("ascii"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
 
 
 def percentile(values: Iterable[float], q: float) -> float:

@@ -1,9 +1,24 @@
-"""Workloads: scenario builders and synthetic entity generators."""
+"""Workloads: scenario builders, the scenario registry and generators."""
 
+from repro.workloads.families import (
+    build_convoy_pursuit,
+    build_high_density,
+    build_sensor_failure_storm,
+    build_urban_campus,
+)
 from repro.workloads.generators import (
     burst_observations,
     poisson_ticks,
     synthetic_observations,
+)
+from repro.workloads.registry import (
+    SIZE_PRESETS,
+    ScenarioSpec,
+    build_scenario,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    scenario_names,
 )
 from repro.workloads.scenarios import (
     Scenario,
@@ -17,6 +32,17 @@ __all__ = [
     "build_smart_building",
     "build_forest_fire",
     "build_intrusion",
+    "build_convoy_pursuit",
+    "build_urban_campus",
+    "build_sensor_failure_storm",
+    "build_high_density",
+    "SIZE_PRESETS",
+    "ScenarioSpec",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "iter_scenarios",
+    "build_scenario",
     "poisson_ticks",
     "synthetic_observations",
     "burst_observations",

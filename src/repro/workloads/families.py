@@ -1,0 +1,708 @@
+"""Additional end-to-end scenario families beyond the paper's trio.
+
+The seed scenarios (:mod:`repro.workloads.scenarios`) cover the paper's
+motivating workloads; these four families grow the matrix toward the
+cases spatio-temporal monitoring work stresses — mobile entities,
+several sinks on one fabric, degraded substrates and event densities
+that exercise the spatial index:
+
+* :func:`build_convoy_pursuit` — two waypoint-mobile objects (a convoy
+  leader and a pursuer) cross the sensed field; motes emit per-target
+  presence events and the sink fuses them into a *moving* composite
+  ``pursuit`` event whose location follows the chase;
+* :func:`build_urban_campus` — one wireless fabric shared by two sink
+  nodes (west/east campus); a patrol vehicle triggers per-zone activity
+  events at both sinks and the CCU correlates cyber-physical instances
+  *across sinks* into a campus-wide ``campus_sweep`` cyber event;
+* :func:`build_sensor_failure_storm` — a lossy radio plus a scheduled
+  sensor-failure storm (failure probability spikes mid-run, then
+  recovers), exercising confidence fusion and detection under
+  degradation without crashes;
+* :func:`build_high_density` — a dense mote grid with pulsing plume
+  sources producing clustered warm readings, stressing the hash-grid
+  role index with pair conditions over large windows.
+
+Every builder is deterministic given its seed, returns a
+:class:`~repro.workloads.scenarios.Scenario`, accepts ``use_planner``
+(the conformance harness runs each family on both engine paths), and
+closes the full Figure 1 loop: motes → sink(s) → CCU → actuation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.conditions import (
+    AttributeCondition,
+    AttributeTerm,
+    ConfidenceCondition,
+    SpatialMeasureCondition,
+    TemporalCondition,
+    TimeOf,
+)
+from repro.core.composite import all_of
+from repro.core.operators import RelationalOp, TemporalOp
+from repro.core.space_model import PointLocation
+from repro.core.spec import (
+    EntitySelector,
+    EventSpecification,
+    OutputAttribute,
+    OutputPolicy,
+)
+from repro.cps.actions import ActionRule, ActuatorCommand
+from repro.cps.actuator import Actuator
+from repro.cps.sensor import RangeSensor, Sensor
+from repro.cps.system import CPSSystem
+from repro.network.radio import LogDistanceRadio, UnitDiskRadio
+from repro.network.topology import grid_topology
+from repro.physical.fields import GaussianPlumeField, PlumeSource, UniformField
+from repro.physical.mobility import PatrolTrajectory, WaypointTrajectory
+from repro.physical.objects import PhysicalObject
+from repro.workloads.scenarios import Scenario
+
+__all__ = [
+    "build_convoy_pursuit",
+    "build_urban_campus",
+    "build_sensor_failure_storm",
+    "build_high_density",
+]
+
+
+def _alarm_rule(
+    event_id: str,
+    command_kind: str,
+    targets: tuple[str, ...],
+    payload: Mapping[str, object],
+    cooldown: int,
+) -> ActionRule:
+    return ActionRule(
+        event_id,
+        lambda instance, tick: [
+            ActuatorCommand(
+                command_kind, dict(payload), targets, tick, cause=instance.key
+            )
+        ],
+        cooldown=cooldown,
+    )
+
+
+# ----------------------------------------------------------------------
+# convoy / pursuit: waypoint mobility + moving composite events
+# ----------------------------------------------------------------------
+
+def build_convoy_pursuit(
+    seed: int = 0,
+    rows: int = 3,
+    cols: int = 6,
+    spacing: float = 10.0,
+    detect_range: float = 9.0,
+    sampling_period: int = 3,
+    leader_arrival: int = 350,
+    pursuer_start: int = 60,
+    pursuer_arrival: int = 330,
+    horizon: int = 420,
+    use_planner: bool = True,
+) -> Scenario:
+    """A pursuer chases a convoy leader across the sensed corridor.
+
+    Both objects follow waypoint trajectories along the corridor's mid
+    row; the pursuer enters at ``pursuer_start`` and closes the gap.
+    Motes emit ``leader_seen`` / ``pursuer_seen`` point events; the sink
+    fuses a leader sighting followed by a nearby pursuer sighting into a
+    ``pursuit`` composite whose centroid tracks the chase; the CCU
+    raises ``pursuit_alarm`` and illuminates the corridor.
+    """
+    system = CPSSystem(seed=seed, use_planner=use_planner)
+    width = (cols - 1) * spacing
+    mid_y = (rows - 1) * spacing / 2.0
+    entry = PointLocation(-6.0, mid_y)
+    exit_ = PointLocation(width + 6.0, mid_y)
+    leader = PhysicalObject(
+        "leader",
+        WaypointTrajectory([(0, entry), (leader_arrival, exit_)]),
+    )
+    pursuer = PhysicalObject(
+        "pursuer",
+        WaypointTrajectory(
+            [(0, entry), (pursuer_start, entry), (pursuer_arrival, exit_)]
+        ),
+    )
+    system.world.add_object(leader)
+    system.world.add_object(pursuer)
+    alarm_log: list[int] = []
+    system.world.on_actuation(
+        "illuminate", lambda payload, tick: alarm_log.append(tick)
+    )
+
+    topology = grid_topology(rows, cols, spacing, UnitDiskRadio(spacing * 1.6))
+    sink_name = "MT0_0"
+    system.build_sensor_network(topology, sink_names=[sink_name])
+
+    def seen_spec(event_id: str, target: str) -> EventSpecification:
+        quantity = f"range:{target}"
+        return EventSpecification(
+            event_id=event_id,
+            selectors={"x": EntitySelector(kinds={quantity})},
+            condition=AttributeCondition(
+                "last", (AttributeTerm("x", quantity),),
+                RelationalOp.LT, detect_range,
+            ),
+            window=0,
+            cooldown=sampling_period,
+            output=OutputPolicy(
+                attributes=(
+                    OutputAttribute(
+                        quantity, "last", (AttributeTerm("x", quantity),)
+                    ),
+                )
+            ),
+        )
+
+    leader_seen = seen_spec("leader_seen", "leader")
+    pursuer_seen = seen_spec("pursuer_seen", "pursuer")
+    for name in topology.names:
+        if name == sink_name:
+            continue
+        system.add_mote(
+            name,
+            [
+                RangeSensor(
+                    "SRl", "leader",
+                    system.sim.rng.stream(f"{name}.leader"),
+                    noise_sigma=0.25, max_range=detect_range * 2.0,
+                ),
+                RangeSensor(
+                    "SRp", "pursuer",
+                    system.sim.rng.stream(f"{name}.pursuer"),
+                    noise_sigma=0.25, max_range=detect_range * 2.0,
+                ),
+            ],
+            sampling_period=sampling_period,
+            specs=[leader_seen, pursuer_seen],
+        )
+
+    pursuit = EventSpecification(
+        event_id="pursuit",
+        selectors={
+            "l": EntitySelector(kinds={"leader_seen"}),
+            "p": EntitySelector(kinds={"pursuer_seen"}),
+        },
+        condition=all_of(
+            TemporalCondition(TimeOf("l"), TemporalOp.BEFORE, TimeOf("p")),
+            SpatialMeasureCondition(
+                "distance", ("l", "p"), RelationalOp.LT, 1.5 * spacing
+            ),
+        ),
+        window=8 * sampling_period,
+        cooldown=4 * sampling_period,
+        output=OutputPolicy(time="latest", space="centroid", confidence="mean"),
+        description="a pursuer sighted close behind the convoy leader",
+    )
+    system.add_sink(sink_name, specs=[pursuit])
+
+    alarm = EventSpecification(
+        event_id="pursuit_alarm",
+        selectors={"e": EntitySelector(kinds={"pursuit"})},
+        condition=ConfidenceCondition("e", RelationalOp.GE, 0.2),
+        window=0,
+        cooldown=10 * sampling_period,
+        output=OutputPolicy(time="latest", space="centroid"),
+    )
+    system.add_ccu(
+        "CCU1",
+        PointLocation(-12.0, -12.0),
+        specs=[alarm],
+        rules=[
+            _alarm_rule(
+                "pursuit_alarm", "illuminate", ("AR_light",),
+                {"zone": "corridor"}, 12 * sampling_period,
+            )
+        ],
+    )
+    system.add_dispatch("D1", PointLocation(-12.0, 0.0))
+    system.add_actor_mote(
+        "AR_light",
+        [Actuator("floodlight", "illuminate")],
+        location=PointLocation(width / 2.0, mid_y),
+    )
+    system.add_database("DB1")
+
+    return Scenario(
+        system=system,
+        params={
+            "detect_range": detect_range,
+            "sampling_period": sampling_period,
+            "horizon": horizon,
+            "spacing": spacing,
+            "pursuer_start": pursuer_start,
+        },
+        handles={"leader": leader, "pursuer": pursuer, "alarm_log": alarm_log},
+    )
+
+
+# ----------------------------------------------------------------------
+# urban campus: several sinks on one fabric, cross-sink hierarchy
+# ----------------------------------------------------------------------
+
+def build_urban_campus(
+    seed: int = 0,
+    rows: int = 4,
+    cols: int = 8,
+    spacing: float = 10.0,
+    detect_range: float = 9.0,
+    sampling_period: int = 3,
+    patrol_speed: float = 0.9,
+    horizon: int = 500,
+    use_planner: bool = True,
+) -> Scenario:
+    """A patrol vehicle crosses a campus served by two sink nodes.
+
+    One wireless fabric carries two converge-cast roots (``MT0_0`` west,
+    the far-corner mote east); every other mote routes to its nearest
+    sink.  Both sinks evaluate the same ``zone_activity`` specification
+    over their own subtree's ``vehicle_seen`` events, and the CCU —
+    subscribed to both sinks on the shared bus — fuses two distant
+    activity instances into a ``campus_sweep`` cyber event: an event
+    hierarchy that no single sink can observe alone.
+    """
+    system = CPSSystem(seed=seed, use_planner=use_planner)
+    width = (cols - 1) * spacing
+    height = (rows - 1) * spacing
+    vehicle = PhysicalObject(
+        "vehicle",
+        PatrolTrajectory(
+            [
+                PointLocation(0.0, 0.0),
+                PointLocation(width, 0.0),
+                PointLocation(width, height),
+                PointLocation(0.0, height),
+            ],
+            speed=patrol_speed,
+        ),
+    )
+    system.world.add_object(vehicle)
+    notice_log: list[int] = []
+    system.world.on_actuation(
+        "campus_notice", lambda payload, tick: notice_log.append(tick)
+    )
+
+    topology = grid_topology(rows, cols, spacing, UnitDiskRadio(spacing * 1.6))
+    west_sink = "MT0_0"
+    east_sink = f"MT{rows - 1}_{cols - 1}"
+    system.build_sensor_network(topology, sink_names=[west_sink, east_sink])
+
+    vehicle_seen = EventSpecification(
+        event_id="vehicle_seen",
+        selectors={"x": EntitySelector(kinds={"range:vehicle"})},
+        condition=AttributeCondition(
+            "last", (AttributeTerm("x", "range:vehicle"),),
+            RelationalOp.LT, detect_range,
+        ),
+        window=0,
+        cooldown=sampling_period,
+        output=OutputPolicy(
+            attributes=(
+                OutputAttribute(
+                    "range:vehicle", "last",
+                    (AttributeTerm("x", "range:vehicle"),),
+                ),
+            )
+        ),
+    )
+    for name in topology.names:
+        if name in (west_sink, east_sink):
+            continue
+        system.add_mote(
+            name,
+            [
+                RangeSensor(
+                    "SRv", "vehicle",
+                    system.sim.rng.stream(f"{name}.vehicle"),
+                    noise_sigma=0.25, max_range=detect_range * 2.0,
+                )
+            ],
+            sampling_period=sampling_period,
+            specs=[vehicle_seen],
+        )
+
+    def zone_spec() -> EventSpecification:
+        return EventSpecification(
+            event_id="zone_activity",
+            selectors={
+                "a": EntitySelector(kinds={"vehicle_seen"}),
+                "b": EntitySelector(kinds={"vehicle_seen"}),
+            },
+            condition=all_of(
+                TemporalCondition(TimeOf("a"), TemporalOp.BEFORE, TimeOf("b")),
+                SpatialMeasureCondition(
+                    "distance", ("a", "b"), RelationalOp.LT, 2.0 * spacing
+                ),
+            ),
+            window=6 * sampling_period,
+            cooldown=3 * sampling_period,
+            output=OutputPolicy(
+                time="latest", space="centroid", confidence="mean"
+            ),
+            description="two concurring vehicle sightings in one zone",
+        )
+
+    # Each sink gets its own specification object: engines are
+    # per-observer and spec ids only need uniqueness within one engine.
+    system.add_sink(west_sink, specs=[zone_spec()])
+    system.add_sink(east_sink, specs=[zone_spec()])
+
+    campus_sweep = EventSpecification(
+        event_id="campus_sweep",
+        selectors={
+            "w": EntitySelector(kinds={"zone_activity"}),
+            "e": EntitySelector(kinds={"zone_activity"}),
+        },
+        condition=all_of(
+            TemporalCondition(TimeOf("w"), TemporalOp.BEFORE, TimeOf("e")),
+            SpatialMeasureCondition(
+                "distance", ("w", "e"), RelationalOp.GT, 3.0 * spacing
+            ),
+        ),
+        window=40 * sampling_period,
+        cooldown=20 * sampling_period,
+        output=OutputPolicy(time="span", space="hull", confidence="min"),
+        description="activity in two distant campus zones (cross-sink)",
+    )
+    system.add_ccu(
+        "CCU1",
+        PointLocation(-15.0, -15.0),
+        specs=[campus_sweep],
+        rules=[
+            _alarm_rule(
+                "campus_sweep", "campus_notice", ("AR_pa",),
+                {"channel": "security"}, 30 * sampling_period,
+            )
+        ],
+    )
+    system.add_dispatch("D1", PointLocation(-15.0, 0.0))
+    system.add_actor_mote(
+        "AR_pa",
+        [Actuator("public_address", "campus_notice")],
+        location=PointLocation(width / 2.0, height / 2.0),
+    )
+    system.add_database("DB1")
+
+    return Scenario(
+        system=system,
+        params={
+            "detect_range": detect_range,
+            "sampling_period": sampling_period,
+            "horizon": horizon,
+            "spacing": spacing,
+            "sinks": (west_sink, east_sink),
+        },
+        handles={"vehicle": vehicle, "notice_log": notice_log},
+    )
+
+
+# ----------------------------------------------------------------------
+# sensor-failure storm: failure injection + dropped packets
+# ----------------------------------------------------------------------
+
+def build_sensor_failure_storm(
+    seed: int = 0,
+    rows: int = 4,
+    cols: int = 4,
+    spacing: float = 10.0,
+    hot_threshold: float = 77.0,
+    sampling_period: int = 5,
+    base_failure: float = 0.02,
+    storm_failure: float = 0.5,
+    storm_start: int = 150,
+    storm_end: int = 300,
+    max_retries: int = 2,
+    horizon: int = 450,
+    use_planner: bool = True,
+) -> Scenario:
+    """Detection through a mid-run sensor-failure storm on a lossy WSN.
+
+    The world is uniformly hot, so every healthy sample is a potential
+    ``hot_reading``; the radio is log-distance lossy (packets genuinely
+    drop) and between ``storm_start`` and ``storm_end`` every sensor's
+    failure probability spikes to ``storm_failure`` — observations thin
+    out, composite detections degrade, and everything must recover after
+    the storm without corrupted state.
+    """
+    system = CPSSystem(seed=seed, use_planner=use_planner)
+    system.world.add_field("temperature", UniformField(80.0))
+    vent_log: list[int] = []
+    system.world.on_actuation(
+        "ventilate", lambda payload, tick: vent_log.append(tick)
+    )
+
+    topology = grid_topology(
+        rows, cols, spacing, LogDistanceRadio(d50=spacing * 1.05, width=2.5)
+    )
+    sink_name = "MT0_0"
+    system.build_sensor_network(
+        topology, sink_names=[sink_name], max_retries=max_retries
+    )
+
+    hot = EventSpecification(
+        event_id="hot_reading",
+        selectors={"x": EntitySelector(kinds={"temperature"})},
+        condition=AttributeCondition(
+            "last", (AttributeTerm("x", "temperature"),),
+            RelationalOp.GT, hot_threshold,
+        ),
+        window=0,
+        cooldown=2 * sampling_period,
+        output=OutputPolicy(
+            attributes=(
+                OutputAttribute(
+                    "temperature", "last", (AttributeTerm("x", "temperature"),)
+                ),
+            )
+        ),
+    )
+    sensors: list[Sensor] = []
+    for name in topology.names:
+        if name == sink_name:
+            continue
+        sensor = Sensor(
+            "SRt", "temperature",
+            system.sim.rng.stream(f"{name}.temp"),
+            noise_sigma=2.0,
+            failure_probability=base_failure,
+        )
+        sensors.append(sensor)
+        system.add_mote(
+            name, [sensor], sampling_period=sampling_period, specs=[hot]
+        )
+
+    def set_failure(probability: float) -> None:
+        for sensor in sensors:
+            sensor.failure_probability = probability
+
+    system.sim.schedule_at(storm_start, lambda: set_failure(storm_failure))
+    system.sim.schedule_at(storm_end, lambda: set_failure(base_failure))
+
+    hot_cluster = EventSpecification(
+        event_id="hot_cluster",
+        selectors={
+            "a": EntitySelector(kinds={"hot_reading"}),
+            "b": EntitySelector(kinds={"hot_reading"}),
+            "c": EntitySelector(kinds={"hot_reading"}),
+        },
+        condition=all_of(
+            TemporalCondition(TimeOf("a"), TemporalOp.BEFORE, TimeOf("c")),
+            SpatialMeasureCondition(
+                "diameter", ("a", "b", "c"), RelationalOp.LT, 3.0 * spacing
+            ),
+        ),
+        window=6 * sampling_period,
+        cooldown=4 * sampling_period,
+        output=OutputPolicy(
+            time="span", space="hull", confidence="min",
+            attributes=(
+                OutputAttribute(
+                    "temperature", "max",
+                    (
+                        AttributeTerm("a", "temperature"),
+                        AttributeTerm("b", "temperature"),
+                        AttributeTerm("c", "temperature"),
+                    ),
+                ),
+            ),
+        ),
+        description="three concurring hot reports despite degradation",
+    )
+    system.add_sink(sink_name, specs=[hot_cluster])
+
+    heat_alert = EventSpecification(
+        event_id="heat_alert",
+        selectors={"e": EntitySelector(kinds={"hot_cluster"})},
+        condition=ConfidenceCondition("e", RelationalOp.GE, 0.3),
+        window=0,
+        cooldown=10 * sampling_period,
+        output=OutputPolicy(time="span", space="hull"),
+    )
+    system.add_ccu(
+        "CCU1",
+        PointLocation(-12.0, -12.0),
+        specs=[heat_alert],
+        rules=[
+            _alarm_rule(
+                "heat_alert", "ventilate", ("AR_vent",),
+                {"mode": "max"}, 20 * sampling_period,
+            )
+        ],
+    )
+    system.add_dispatch("D1", PointLocation(-12.0, 0.0))
+    system.add_actor_mote(
+        "AR_vent",
+        [Actuator("fan", "ventilate")],
+        location=PointLocation(
+            (cols - 1) * spacing / 2.0, (rows - 1) * spacing / 2.0
+        ),
+    )
+    system.add_database("DB1")
+
+    return Scenario(
+        system=system,
+        params={
+            "hot_threshold": hot_threshold,
+            "sampling_period": sampling_period,
+            "horizon": horizon,
+            "storm_start": storm_start,
+            "storm_end": storm_end,
+            "base_failure": base_failure,
+            "storm_failure": storm_failure,
+        },
+        handles={"sensors": sensors, "vent_log": vent_log},
+    )
+
+
+# ----------------------------------------------------------------------
+# high density: hash-grid index stress under clustered event bursts
+# ----------------------------------------------------------------------
+
+def build_high_density(
+    seed: int = 0,
+    rows: int = 7,
+    cols: int = 7,
+    spacing: float = 6.0,
+    warm_threshold: float = 45.0,
+    sampling_period: int = 4,
+    source_amplitude: float = 70.0,
+    source_sigma: float = 12.0,
+    horizon: int = 240,
+    use_planner: bool = True,
+) -> Scenario:
+    """Clustered warm bursts on a dense grid stress the role index.
+
+    Plume sources pulse at three spots across the run; each active
+    source turns the surrounding patch of the (densely packed) grid
+    warm, flooding the sink's pair-condition windows with co-located
+    events — the workload shape where hash-grid candidate pruning pays
+    and where an index/window desynchronization would instantly diverge
+    from the naive engine.
+    """
+    system = CPSSystem(seed=seed, use_planner=use_planner)
+    width = (cols - 1) * spacing
+    height = (rows - 1) * spacing
+    third = horizon // 3
+    field = GaussianPlumeField(
+        base=20.0,
+        sources=[
+            PlumeSource(
+                PointLocation(width * 0.25, height * 0.25),
+                amplitude=source_amplitude, sigma=source_sigma,
+                start=10, end=third, ramp=8,
+            ),
+            PlumeSource(
+                PointLocation(width * 0.75, height * 0.5),
+                amplitude=source_amplitude, sigma=source_sigma,
+                start=third + 10, end=2 * third, ramp=8,
+            ),
+            PlumeSource(
+                PointLocation(width * 0.4, height * 0.8),
+                amplitude=source_amplitude, sigma=source_sigma,
+                start=2 * third + 10, end=horizon, ramp=8,
+            ),
+        ],
+    )
+    system.world.add_field("temperature", field)
+    shutter_log: list[int] = []
+    system.world.on_actuation(
+        "shutter", lambda payload, tick: shutter_log.append(tick)
+    )
+
+    topology = grid_topology(rows, cols, spacing, UnitDiskRadio(spacing * 1.6))
+    sink_name = "MT0_0"
+    system.build_sensor_network(topology, sink_names=[sink_name])
+
+    warm = EventSpecification(
+        event_id="warm_reading",
+        selectors={"x": EntitySelector(kinds={"temperature"})},
+        condition=AttributeCondition(
+            "last", (AttributeTerm("x", "temperature"),),
+            RelationalOp.GT, warm_threshold,
+        ),
+        window=0,
+        cooldown=2 * sampling_period,
+        output=OutputPolicy(
+            attributes=(
+                OutputAttribute(
+                    "temperature", "last", (AttributeTerm("x", "temperature"),)
+                ),
+            )
+        ),
+    )
+    for name in topology.names:
+        if name == sink_name:
+            continue
+        system.add_mote(
+            name,
+            [
+                Sensor(
+                    "SRt", "temperature",
+                    system.sim.rng.stream(f"{name}.temp"),
+                    noise_sigma=1.5,
+                )
+            ],
+            sampling_period=sampling_period,
+            specs=[warm],
+        )
+
+    warm_pair = EventSpecification(
+        event_id="warm_pair",
+        selectors={
+            "a": EntitySelector(kinds={"warm_reading"}),
+            "b": EntitySelector(kinds={"warm_reading"}),
+        },
+        condition=all_of(
+            TemporalCondition(TimeOf("a"), TemporalOp.BEFORE, TimeOf("b")),
+            SpatialMeasureCondition(
+                "distance", ("a", "b"), RelationalOp.LT, 1.5 * spacing
+            ),
+        ),
+        window=5 * sampling_period,
+        cooldown=sampling_period,
+        output=OutputPolicy(time="latest", space="centroid", confidence="mean"),
+        description="two warm reports from adjacent motes",
+    )
+    system.add_sink(sink_name, specs=[warm_pair])
+
+    density_alert = EventSpecification(
+        event_id="density_alert",
+        selectors={"e": EntitySelector(kinds={"warm_pair"})},
+        condition=ConfidenceCondition("e", RelationalOp.GE, 0.2),
+        window=0,
+        cooldown=15 * sampling_period,
+        output=OutputPolicy(time="latest", space="centroid"),
+    )
+    system.add_ccu(
+        "CCU1",
+        PointLocation(-10.0, -10.0),
+        specs=[density_alert],
+        rules=[
+            _alarm_rule(
+                "density_alert", "shutter", ("AR_shutter",),
+                {"sector": "all"}, 25 * sampling_period,
+            )
+        ],
+    )
+    system.add_dispatch("D1", PointLocation(-10.0, 0.0))
+    system.add_actor_mote(
+        "AR_shutter",
+        [Actuator("shutter_drive", "shutter")],
+        location=PointLocation(width / 2.0, height / 2.0),
+    )
+    system.add_database("DB1")
+
+    return Scenario(
+        system=system,
+        params={
+            "warm_threshold": warm_threshold,
+            "sampling_period": sampling_period,
+            "horizon": horizon,
+            "spacing": spacing,
+        },
+        handles={"field": field, "shutter_log": shutter_log},
+    )

@@ -1,0 +1,271 @@
+"""Named, parameterized scenario registry with size presets.
+
+Every end-to-end scenario family the repository ships is registered
+here under a stable name with three size presets (``small`` for CI and
+conformance, ``medium`` for benchmarks, ``large`` for scaling studies)
+and a deterministic default seed.  The registry is what makes the
+scenario matrix *enumerable*: the golden-trace conformance suite, the
+scenario benchmarks and the README catalog all iterate
+:func:`iter_scenarios` instead of hand-maintaining parallel lists, so a
+newly registered family is automatically pinned by golden traces,
+exercised planner-vs-naive, and benchmarked.
+
+Usage::
+
+    from repro.workloads import build_scenario, scenario_names
+
+    scenario = build_scenario("intrusion", preset="small", seed=7)
+    scenario.system.run(until=scenario.params["horizon"])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.core.errors import ReproError
+from repro.workloads.families import (
+    build_convoy_pursuit,
+    build_high_density,
+    build_sensor_failure_storm,
+    build_urban_campus,
+)
+from repro.workloads.scenarios import (
+    Scenario,
+    build_forest_fire,
+    build_intrusion,
+    build_smart_building,
+)
+
+__all__ = [
+    "SIZE_PRESETS",
+    "ScenarioSpec",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "iter_scenarios",
+    "build_scenario",
+]
+
+SIZE_PRESETS = ("small", "medium", "large")
+"""The preset names every registered scenario must provide."""
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One registered scenario family.
+
+    Args:
+        name: Stable registry key.
+        builder: Scenario factory; must accept ``seed`` and
+            ``use_planner`` keywords plus the preset parameters.
+        description: One-line summary (README catalog row).
+        layers: Subsystem layers the scenario exercises (catalog row).
+        paper_section: Paper section the workload traces back to
+            (``"-"`` for post-paper extensions).
+        presets: Builder keyword overrides per size preset; every name
+            in :data:`SIZE_PRESETS` must be present (``{}`` = builder
+            defaults).
+        default_seed: Seed used when the caller passes none, so
+            "the registered scenario" names one deterministic run.
+    """
+
+    name: str
+    builder: Callable[..., Scenario] = field(repr=False)
+    description: str
+    layers: tuple[str, ...]
+    paper_section: str
+    presets: Mapping[str, Mapping[str, object]]
+    default_seed: int = 0
+
+    def __post_init__(self) -> None:
+        missing = [p for p in SIZE_PRESETS if p not in self.presets]
+        if missing:
+            raise ReproError(
+                f"scenario {self.name!r} lacks presets {missing}; "
+                f"every scenario must define {SIZE_PRESETS}"
+            )
+
+    def params_for(self, preset: str) -> dict[str, object]:
+        """The builder keywords of one preset (a fresh dict)."""
+        try:
+            return dict(self.presets[preset])
+        except KeyError:
+            raise ReproError(
+                f"unknown preset {preset!r} for scenario {self.name!r}; "
+                f"choose from {SIZE_PRESETS}"
+            ) from None
+
+
+_REGISTRY: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Register a scenario family (names must be unique)."""
+    if spec.name in _REGISTRY:
+        raise ReproError(f"scenario {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up one registered scenario family."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown scenario {name!r}; registered: {scenario_names()}"
+        ) from None
+
+
+def scenario_names() -> tuple[str, ...]:
+    """All registered scenario names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def iter_scenarios() -> tuple[ScenarioSpec, ...]:
+    """All registered scenario specs, in registration order."""
+    return tuple(_REGISTRY.values())
+
+
+def build_scenario(
+    name: str,
+    preset: str = "small",
+    seed: int | None = None,
+    use_planner: bool = True,
+    **overrides: object,
+) -> Scenario:
+    """Build one registered scenario at a size preset.
+
+    Args:
+        name: Registered scenario name.
+        preset: Size preset (``small`` / ``medium`` / ``large``).
+        seed: Root random seed; defaults to the family's registered
+            deterministic seed.
+        use_planner: Engine evaluation mode for every observer.
+        overrides: Extra builder keywords layered over the preset.
+    """
+    spec = get_scenario(name)
+    params = spec.params_for(preset)
+    params.update(overrides)
+    if seed is None:
+        seed = spec.default_seed
+    return spec.builder(seed=seed, use_planner=use_planner, **params)
+
+
+# ----------------------------------------------------------------------
+# the registered matrix
+# ----------------------------------------------------------------------
+
+register_scenario(
+    ScenarioSpec(
+        name="smart_building",
+        builder=build_smart_building,
+        description="user lingers near a window; long stays adjust the HVAC",
+        layers=("mote intervals", "sink", "ccu", "actuation"),
+        paper_section="§1, §4.2",
+        presets={
+            "small": {"stay_ticks": 120, "approach_tick": 60,
+                      "leave_tick": 260, "horizon": 400},
+            "medium": {},
+            "large": {"stay_ticks": 600, "approach_tick": 200,
+                      "leave_tick": 1400, "horizon": 2000},
+        },
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="forest_fire",
+        builder=build_forest_fire,
+        description="spreading fire fused into a field event; suppression closes the loop",
+        layers=("fire dynamics", "mote", "sink", "ccu", "actuation"),
+        paper_section="§4.2",
+        presets={
+            "small": {"rows": 4, "cols": 4, "ignition_tick": 60,
+                      "horizon": 400},
+            "medium": {},
+            "large": {"rows": 8, "cols": 8, "horizon": 1500},
+        },
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="intrusion",
+        builder=build_intrusion,
+        description="patrolling intruder trilaterated from concurring range detections",
+        layers=("mobility", "mote", "sink+trilateration", "ccu", "actuation"),
+        paper_section="§4.2 (S1)",
+        presets={
+            "small": {"rows": 3, "cols": 3, "horizon": 300},
+            "medium": {},
+            "large": {"rows": 6, "cols": 6, "horizon": 1200},
+        },
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="convoy_pursuit",
+        builder=build_convoy_pursuit,
+        description="pursuer chases a convoy leader; the composite event moves with the chase",
+        layers=("waypoint mobility", "mote", "sink", "ccu", "actuation"),
+        paper_section="-",
+        presets={
+            "small": {"rows": 3, "cols": 5, "leader_arrival": 240,
+                      "pursuer_start": 40, "pursuer_arrival": 220,
+                      "horizon": 300},
+            "medium": {},
+            "large": {"rows": 4, "cols": 10, "leader_arrival": 700,
+                      "pursuer_start": 120, "pursuer_arrival": 660,
+                      "horizon": 840},
+        },
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="urban_campus",
+        builder=build_urban_campus,
+        description="two sinks share one fabric; the CCU fuses cross-sink zone activity",
+        layers=("multi-sink WSN", "mote", "sinks", "ccu", "actuation"),
+        paper_section="-",
+        presets={
+            "small": {"rows": 3, "cols": 6, "horizon": 350},
+            "medium": {},
+            "large": {"rows": 6, "cols": 12, "horizon": 1000},
+        },
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="sensor_failure_storm",
+        builder=build_sensor_failure_storm,
+        description="sensor failures spike mid-run on a lossy radio; detection degrades and recovers",
+        layers=("failure injection", "lossy radio", "mote", "sink", "ccu"),
+        paper_section="-",
+        presets={
+            "small": {"storm_start": 120, "storm_end": 240, "horizon": 360},
+            "medium": {},
+            "large": {"rows": 6, "cols": 6, "storm_start": 300,
+                      "storm_end": 700, "horizon": 1200},
+        },
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="high_density",
+        builder=build_high_density,
+        description="pulsing plumes on a dense grid stress the hash-grid role index",
+        layers=("plume field", "dense WSN", "mote", "sink", "ccu"),
+        paper_section="-",
+        presets={
+            "small": {"rows": 6, "cols": 6, "horizon": 210},
+            "medium": {},
+            "large": {"rows": 12, "cols": 12, "horizon": 600},
+        },
+    )
+)

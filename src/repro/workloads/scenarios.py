@@ -92,6 +92,7 @@ def build_smart_building(
     approach_tick: int = 100,
     leave_tick: int = 600,
     horizon: int = 900,
+    use_planner: bool = True,
 ) -> Scenario:
     """The paper's running example as a closed-loop system.
 
@@ -101,7 +102,7 @@ def build_smart_building(
     ``long_stay`` cyber-physical events; the CCU's rule issues an
     ``adjust_hvac`` command.
     """
-    system = CPSSystem(seed=seed)
+    system = CPSSystem(seed=seed, use_planner=use_planner)
     window_pos = PointLocation(20.0, 20.0)
     far = PointLocation(0.0, 0.0)
     user = PhysicalObject(
@@ -228,6 +229,7 @@ def build_forest_fire(
     suppress: bool = True,
     spread_probability: float = 0.35,
     horizon: int = 800,
+    use_planner: bool = True,
 ) -> Scenario:
     """Forest-fire detection with an actuated suppression loop.
 
@@ -237,7 +239,7 @@ def build_forest_fire(
     reporting motes); the CCU commands suppression, which zeroes the
     spread probability — measurably bounding the burned fraction.
     """
-    system = CPSSystem(seed=seed)
+    system = CPSSystem(seed=seed, use_planner=use_planner)
     extent = BoundingBox(
         -spacing, -spacing, cols * spacing + spacing, rows * spacing + spacing
     )
@@ -406,6 +408,7 @@ def build_intrusion(
     sampling_period: int = 2,
     patrol_speed: float = 0.8,
     horizon: int = 600,
+    use_planner: bool = True,
 ) -> Scenario:
     """Intruder tracking with spatio-temporal fusion and trilateration.
 
@@ -415,7 +418,7 @@ def build_intrusion(
     distance (condition S1 extended to three entities), trilaterates
     the position, and the CCU raises ``intruder_alarm``.
     """
-    system = CPSSystem(seed=seed)
+    system = CPSSystem(seed=seed, use_planner=use_planner)
     width = (cols - 1) * spacing
     height = (rows - 1) * spacing
     intruder = PhysicalObject(

@@ -1,0 +1,14 @@
+"""Shared pytest configuration for the test suite."""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "Regenerate the golden trace files under "
+            "tests/integration/golden/ instead of asserting against them "
+            "(commit the resulting diff deliberately)."
+        ),
+    )

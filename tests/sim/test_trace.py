@@ -1,8 +1,21 @@
-"""Unit tests for trace recording and summary statistics."""
+"""Unit tests for trace recording, serialization and summary statistics."""
+
+import enum
+import json
 
 import pytest
 
-from repro.sim.trace import TraceRecorder, percentile, summarize
+from repro.sim.trace import (
+    TraceRecord,
+    TraceRecorder,
+    canonical_payload,
+    from_jsonl,
+    percentile,
+    record_to_json,
+    summarize,
+    to_jsonl,
+    trace_digest,
+)
 
 
 class TestTraceRecorder:
@@ -45,6 +58,121 @@ class TestTraceRecorder:
         assert len(trace) == 0
         trace.record(2, "b", "y")
         assert len(seen) == 2
+
+
+class _Color(enum.Enum):
+    RED = 1
+    BLUE = 2
+
+
+def _sample_records():
+    return [
+        TraceRecord(1, "sample", "MT1", {"value": 20.5, "sensor": "SRt"}),
+        TraceRecord(2, "emit", "MT1", {"layer": _Color.RED, "nested": {"b": 2, "a": 1}}),
+        TraceRecord(3, "deliver", "MT2", {"hops": [1, 2, 3], "ok": True}),
+    ]
+
+
+class TestCanonicalization:
+    def test_scalars_pass_through(self):
+        assert canonical_payload(None) is None
+        assert canonical_payload(7) == 7
+        assert canonical_payload(2.5) == 2.5
+        assert canonical_payload("x") == "x"
+        assert canonical_payload(True) is True
+
+    def test_non_finite_floats_stringified(self):
+        assert canonical_payload(float("inf")) == "inf"
+        assert canonical_payload(float("nan")) == "nan"
+
+    def test_enum_by_qualified_name(self):
+        assert canonical_payload(_Color.RED) == "_Color.RED"
+
+    def test_mapping_and_sequences(self):
+        assert canonical_payload({"b": (1, 2), "a": [3]}) == {"b": [1, 2], "a": [3]}
+
+    def test_sets_sorted(self):
+        assert canonical_payload({3, 1, 2}) == [1, 2, 3]
+        assert canonical_payload(frozenset({"b", "a"})) == ["a", "b"]
+
+    def test_exotic_objects_fall_back_to_repr(self):
+        from repro.core.space_model import PointLocation
+
+        assert canonical_payload(PointLocation(1.0, 2.0)) == "(1, 2)"
+
+    def test_address_bearing_reprs_rejected(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(ValueError, match="deterministic repr"):
+            canonical_payload(Opaque())
+        with pytest.raises(ValueError, match="deterministic repr"):
+            canonical_payload(lambda: None)  # function reprs carry 0x addresses
+
+    def test_record_json_is_strict_and_sorted(self):
+        line = record_to_json(_sample_records()[1])
+        row = json.loads(line)
+        assert row["payload"]["nested"] == {"a": 1, "b": 2}
+        assert list(row) == sorted(row)  # canonical key order
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_identity(self):
+        text = to_jsonl(_sample_records())
+        assert to_jsonl(from_jsonl(text)) == text
+
+    def test_loaded_records_preserve_identity_fields(self):
+        loaded = from_jsonl(to_jsonl(_sample_records()))
+        assert [(r.tick, r.category, r.source) for r in loaded] == [
+            (1, "sample", "MT1"),
+            (2, "emit", "MT1"),
+            (3, "deliver", "MT2"),
+        ]
+        assert loaded[0].value("value") == 20.5
+
+    def test_blank_lines_ignored(self):
+        text = to_jsonl(_sample_records())
+        assert from_jsonl(text + "\n\n") == from_jsonl(text)
+
+    def test_replay_feeds_listeners(self):
+        trace = TraceRecorder()
+        seen = []
+        trace.subscribe(seen.append)
+        trace.replay(_sample_records())
+        assert len(trace) == 3
+        assert [r.category for r in seen] == ["sample", "emit", "deliver"]
+
+
+class TestTraceDigest:
+    def test_equal_traces_digest_equal(self):
+        assert trace_digest(_sample_records()) == trace_digest(_sample_records())
+
+    def test_digest_sensitive_to_any_field(self):
+        base = _sample_records()
+        digests = {trace_digest(base)}
+        shifted = [TraceRecord(r.tick + 1, r.category, r.source, r.payload) for r in base]
+        digests.add(trace_digest(shifted))
+        renamed = base[:-1] + [TraceRecord(3, "dropped", "MT2", base[-1].payload)]
+        digests.add(trace_digest(renamed))
+        reordered = [base[1], base[0], base[2]]
+        digests.add(trace_digest(reordered))
+        assert len(digests) == 4
+
+    def test_recorder_digest_matches_function(self):
+        trace = TraceRecorder()
+        trace.replay(_sample_records())
+        assert trace.digest() == trace_digest(_sample_records())
+        assert trace.digest(categories={"emit"}) == trace_digest(
+            [_sample_records()[1]]
+        )
+
+    def test_filtered_preserves_order(self):
+        trace = TraceRecorder()
+        trace.replay(_sample_records())
+        assert [r.category for r in trace.filtered({"sample", "deliver"})] == [
+            "sample",
+            "deliver",
+        ]
 
 
 class TestPercentile:

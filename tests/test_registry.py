@@ -1,0 +1,110 @@
+"""Unit tests for the scenario registry."""
+
+import pytest
+
+from repro.core.errors import ReproError
+from repro.workloads import (
+    SIZE_PRESETS,
+    Scenario,
+    ScenarioSpec,
+    build_scenario,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    scenario_names,
+)
+
+
+class TestRegistryContents:
+    def test_at_least_seven_families(self):
+        assert len(scenario_names()) >= 7
+
+    def test_seed_trio_present(self):
+        assert {"smart_building", "forest_fire", "intrusion"} <= set(
+            scenario_names()
+        )
+
+    def test_new_families_present(self):
+        assert {
+            "convoy_pursuit",
+            "urban_campus",
+            "sensor_failure_storm",
+            "high_density",
+        } <= set(scenario_names())
+
+    def test_every_spec_has_all_presets(self):
+        for spec in iter_scenarios():
+            for preset in SIZE_PRESETS:
+                assert isinstance(spec.params_for(preset), dict)
+
+    def test_catalog_metadata_complete(self):
+        for spec in iter_scenarios():
+            assert spec.description
+            assert spec.layers
+            assert spec.paper_section
+
+    def test_iter_matches_names(self):
+        assert tuple(s.name for s in iter_scenarios()) == scenario_names()
+
+
+class TestLookupAndBuild:
+    def test_get_unknown_scenario(self):
+        with pytest.raises(ReproError, match="unknown scenario"):
+            get_scenario("no_such_scenario")
+
+    def test_unknown_preset(self):
+        with pytest.raises(ReproError, match="unknown preset"):
+            build_scenario("intrusion", preset="gigantic")
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_scenario("intrusion")
+        with pytest.raises(ReproError, match="already registered"):
+            register_scenario(spec)
+
+    def test_spec_without_all_presets_rejected(self):
+        with pytest.raises(ReproError, match="lacks presets"):
+            ScenarioSpec(
+                name="broken",
+                builder=lambda **kw: None,
+                description="x",
+                layers=("a",),
+                paper_section="-",
+                presets={"small": {}},
+            )
+
+    def test_build_returns_runnable_scenario(self):
+        scenario = build_scenario("intrusion", preset="small")
+        assert isinstance(scenario, Scenario)
+        assert scenario.params["horizon"] > 0
+        scenario.system.run(until=50)
+        assert scenario.system.sim.tick == 50
+
+    def test_default_seed_applied(self):
+        spec = get_scenario("intrusion")
+        a = build_scenario("intrusion", preset="small")
+        b = build_scenario("intrusion", preset="small", seed=spec.default_seed)
+        assert a.system.sim.seed == b.system.sim.seed
+
+    def test_overrides_layer_over_preset(self):
+        scenario = build_scenario("intrusion", preset="small", horizon=77)
+        assert scenario.params["horizon"] == 77
+
+    def test_use_planner_reaches_every_engine(self):
+        scenario = build_scenario("intrusion", preset="small", use_planner=False)
+        system = scenario.system
+        observers = [
+            *system.motes.values(),
+            *system.sinks.values(),
+            *system.ccus.values(),
+        ]
+        assert observers
+        assert all(not o.engine.use_planner for o in observers)
+        default = build_scenario("intrusion", preset="small")
+        assert all(
+            o.engine.use_planner
+            for o in [
+                *default.system.motes.values(),
+                *default.system.sinks.values(),
+                *default.system.ccus.values(),
+            ]
+        )
