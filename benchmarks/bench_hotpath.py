@@ -1,0 +1,158 @@
+"""E12 — engine hot path: compiled evaluation vs interpreted baseline.
+
+Two faces:
+
+* **pytest rows** (``pytest benchmarks/bench_hotpath.py``): per-scenario
+  compiled-vs-interpreted rows with deterministic assertions (equal
+  instance emission, fewer-or-equal bindings, nonzero predicate-cache
+  hit rate) plus the selector-routing micro-benchmark row;
+* **CLI** (``python benchmarks/bench_hotpath.py [--quick] [--out F]``):
+  writes the JSON perf report.  Full runs produce the tracked
+  ``BENCH_PR3.json`` over every registered scenario's *medium* preset;
+  ``--quick`` is the CI smoke mode — two small scenarios, and a hard
+  failure if the compiled path is slower than the interpreted one or
+  the memo cache never hits.
+"""
+
+import argparse
+import sys
+
+import report as report_harness
+
+QUICK_SCENARIOS = ("high_density", "convoy_pursuit")
+"""Pruning/cache-heavy families: the smoke pair the CI gate runs."""
+
+
+# ----------------------------------------------------------------------
+# pytest rows (collected because pyproject maps bench_*.py)
+# ----------------------------------------------------------------------
+
+class TestE12HotpathCompiledVsInterpreted:
+    def test_compiled_vs_interpreted_rows(self, benchmark, report, quick):
+        preset = "small" if quick else "medium"
+        repeats = 1 if quick else 2
+
+        def run():
+            return report_harness.hotpath_report(
+                QUICK_SCENARIOS, preset=preset, repeats=repeats
+            )
+
+        payload = benchmark.pedantic(run, rounds=1, iterations=1)
+        for name, row in payload["scenarios"].items():
+            compiled, interpreted = row["compiled"], row["interpreted"]
+            report(
+                f"[E12] {name:<16} preset={preset:<6} "
+                f"detect {compiled['detect_s']:.3f}s vs "
+                f"{interpreted['detect_s']:.3f}s "
+                f"({row['speedup_detect']:.2f}x) "
+                f"total {compiled['wall_s']:.3f}s vs "
+                f"{interpreted['wall_s']:.3f}s "
+                f"({row['speedup_total']:.2f}x) "
+                f"bindings/s={compiled['bindings_per_s']:.0f} "
+                f"cache_hit_rate={compiled['cache_hit_rate']:.2f}"
+            )
+            # Deterministic invariants (timing is reported, not asserted,
+            # to keep the pytest row noise-proof; the CLI smoke gate
+            # enforces the speedup).
+            assert compiled["instances_emitted"] == interpreted["instances_emitted"]
+            assert compiled["bindings_evaluated"] <= interpreted["bindings_evaluated"]
+            assert compiled["cache_hits"] > 0
+            assert interpreted["cache_hits"] == 0  # baseline stays memo-free
+
+    def test_selector_routing_microbench(self, report, quick):
+        result = report_harness.routing_microbench(
+            iterations=2_000 if quick else 50_000
+        )
+        report(
+            f"[E12] candidate_roles routed={result['routed_ns_per_call']:.0f}ns "
+            f"general={result['general_ns_per_call']:.0f}ns "
+            f"({result['speedup']:.2f}x)"
+        )
+        assert result["speedup"] > 0
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: the two benchmark-scale smoke scenarios "
+        "(medium preset, where window pressure exists) with a hard "
+        "compiled>=interpreted gate on the detection path",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_PR3.json",
+        help="output JSON path (default: BENCH_PR3.json)",
+    )
+    parser.add_argument(
+        "--preset",
+        default=None,
+        help="size preset override (default: medium; --quick also uses "
+        "medium — the small conformance presets carry no window "
+        "pressure, so a speed gate there would only measure noise)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timing repeats per mode (default: 2 when --quick else 3)",
+    )
+    parser.add_argument(
+        "--scenarios",
+        nargs="*",
+        default=None,
+        help="scenario subset (default: smoke pair when --quick else all)",
+    )
+    args = parser.parse_args(argv)
+
+    preset = args.preset or "medium"
+    repeats = args.repeats or (2 if args.quick else 3)
+    names = (
+        tuple(args.scenarios)
+        if args.scenarios
+        else (QUICK_SCENARIOS if args.quick else None)
+    )
+
+    payload = report_harness.hotpath_report(names, preset=preset, repeats=repeats)
+    payload["microbench"] = {
+        "candidate_roles": report_harness.routing_microbench(
+            iterations=5_000 if args.quick else 50_000
+        )
+    }
+    path = report_harness.write_report(args.out, payload)
+
+    failures: list[str] = []
+    for name, row in payload["scenarios"].items():
+        compiled = row["compiled"]
+        print(
+            f"{name:<22} {preset:<7} "
+            f"detect={row['speedup_detect']:>6.2f}x "
+            f"total={row['speedup_total']:>5.2f}x  "
+            f"compiled detect={compiled['detect_s']:.3f}s "
+            f"wall={compiled['wall_s']:.3f}s  "
+            f"bindings/s={compiled['bindings_per_s']:.0f}  "
+            f"cache_hit_rate={compiled['cache_hit_rate']:.2f}"
+        )
+        if args.quick:
+            if row["speedup_detect"] < 1.0:
+                failures.append(
+                    f"{name}: compiled detection path slower than "
+                    f"interpreted ({row['speedup_detect']:.2f}x)"
+                )
+            if compiled["cache_hits"] == 0:
+                failures.append(f"{name}: predicate cache never hit")
+    print(f"report written to {path}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,13 +22,22 @@ readings" are expressed.
 Both sides of temporal and spatial conditions are *expressions*: an
 entity's time/location (optionally shifted, supporting the paper's
 ``t_x + 5 Before t_y``), a constant, or an aggregate over several roles.
+
+Every condition additionally knows how to **lower** itself
+(:meth:`Condition.lower`) into a pre-bound closure for the compiled
+evaluation path (:mod:`repro.detect.compiler`): aggregate and operator
+lookups are resolved once at specification-install time instead of once
+per binding, and pairwise spatial/temporal predicates read through an
+optional per-batch memo cache so the same entity pair is never measured
+twice within a batch.  Lowered evaluators are semantically equivalent to
+:meth:`Condition.evaluate` — same booleans, same raised error classes.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence, Union
+from typing import Callable, Mapping, Sequence, Union
 
 from repro.core.aggregates import (
     space_aggregate,
@@ -40,11 +49,17 @@ from repro.core.aggregates import (
 from repro.core.entity import Entity, confidence_of, numeric_attribute
 from repro.core.errors import BindingError, ConditionError
 from repro.core.operators import RelationalOp, SpatialOp, TemporalOp
-from repro.core.space_model import SpatialEntity
-from repro.core.time_model import TemporalEntity, TimeInterval, TimePoint
+from repro.core.space_model import SpatialEntity, spatial_relation
+from repro.core.time_model import (
+    TemporalEntity,
+    TimeInterval,
+    TimePoint,
+    temporal_relation,
+)
 
 __all__ = [
     "Binding",
+    "LoweredPredicate",
     "Condition",
     "AttributeTerm",
     "TimeExpr",
@@ -67,6 +82,17 @@ __all__ = [
 Binding = Mapping[str, Union[Entity, Sequence[Entity]]]
 """Evaluation context: role name -> entity or group of entities."""
 
+LoweredPredicate = Callable[[Binding, object], bool]
+"""A lowered condition evaluator: ``(binding, cache) -> bool``.
+
+The second argument is an optional predicate memo cache (duck-typed to
+:class:`repro.detect.compiler.PredicateCache`; ``None`` disables
+memoization).  A lowered side expression resolves to
+``(cache_key | None, entity)`` — the key is ``None`` whenever the
+resolved value is not uniquely determined by one bound entity (groups,
+aggregates), which simply opts that evaluation out of the memo.
+"""
+
 
 def entities_for(name: str, binding: Binding) -> list[Entity]:
     """The entities bound to a role, always as a list.
@@ -86,6 +112,10 @@ def entities_for(name: str, binding: Binding) -> list[Entity]:
 class Condition(ABC):
     """Base class of every leaf event condition."""
 
+    #: Relative evaluation cost rank; the compiler orders conjunctions
+    #: cheapest-first by this (see :mod:`repro.detect.compiler`).
+    COST = 10.0
+
     @abstractmethod
     def evaluate(self, binding: Binding) -> bool:
         """Whether the condition holds under ``binding``."""
@@ -94,6 +124,17 @@ class Condition(ABC):
     @abstractmethod
     def roles(self) -> frozenset[str]:
         """Role names the condition references."""
+
+    def lower(self) -> LoweredPredicate:
+        """Lower to a pre-bound ``(binding, cache) -> bool`` closure.
+
+        The default wraps :meth:`evaluate` unchanged (correct for any
+        subclass); the built-in condition types override it to resolve
+        aggregates/operators once and to route pairwise predicates
+        through the memo cache.
+        """
+        evaluate = self.evaluate
+        return lambda binding, cache: evaluate(binding)
 
     @abstractmethod
     def describe(self) -> str:
@@ -150,6 +191,8 @@ class AttributeCondition(Condition):
     op: RelationalOp
     constant: float
 
+    COST = 2.0
+
     def __post_init__(self) -> None:
         if not self.terms:
             raise ConditionError("attribute condition needs at least one term")
@@ -161,6 +204,21 @@ class AttributeCondition(Condition):
             values.extend(term.values(binding))
         aggregated = value_aggregate(self.aggregate)(values)
         return self.op.apply(aggregated, self.constant)
+
+    def lower(self) -> LoweredPredicate:
+        aggregate = value_aggregate(self.aggregate)
+        compare = self.op.resolve()
+        constant = self.constant
+        pairs = tuple((term.role, term.attribute) for term in self.terms)
+
+        def run(binding: Binding, cache: object) -> bool:
+            values: list[float] = []
+            for role, attribute in pairs:
+                for entity in entities_for(role, binding):
+                    values.append(numeric_attribute(entity, attribute))
+            return compare(aggregate(values), constant)
+
+        return run
 
     @property
     def roles(self) -> frozenset[str]:
@@ -180,6 +238,17 @@ class TimeExpr(ABC):
 
     @abstractmethod
     def resolve(self, binding: Binding) -> TemporalEntity: ...
+
+    def lower(self) -> Callable[[Binding], tuple[object, TemporalEntity]]:
+        """Pre-bound resolver returning ``(cache_key | None, value)``.
+
+        The key uniquely identifies the resolved value within one
+        detection batch (entity identity plus any static shift); it is
+        ``None`` when no such key exists (aggregates, groups), which
+        opts the evaluation out of relation memoization.
+        """
+        resolve = self.resolve
+        return lambda binding: (None, resolve(binding))
 
     @property
     @abstractmethod
@@ -215,6 +284,30 @@ class TimeOf(TimeExpr):
             )
         return when
 
+    def lower(self) -> Callable[[Binding], tuple[object, TemporalEntity]]:
+        role, offset = self.role, self.offset
+        span = time_aggregate("span")
+
+        def resolve(binding: Binding) -> tuple[object, TemporalEntity]:
+            entities = entities_for(role, binding)
+            if len(entities) == 1:
+                entity = entities[0]
+                when: TemporalEntity = entity.occurrence_time
+                # id() is the batch-stable entity key (see PredicateCache).
+                key: object = (id(entity), offset) if offset else id(entity)
+            else:
+                when = span([e.occurrence_time for e in entities])
+                key = None
+            if offset:
+                when = (
+                    when.shift(offset)
+                    if isinstance(when, TimeInterval)
+                    else when + offset
+                )
+            return key, when
+
+        return resolve
+
     @property
     def roles(self) -> frozenset[str]:
         return frozenset({self.role})
@@ -234,6 +327,12 @@ class TimeConst(TimeExpr):
 
     def resolve(self, binding: Binding) -> TemporalEntity:
         return self.value
+
+    def lower(self) -> Callable[[Binding], tuple[object, TemporalEntity]]:
+        # The constant is one fixed object for the condition's lifetime,
+        # so its id() is a valid within-batch cache key.
+        result = (("const", id(self.value)), self.value)
+        return lambda binding: result
 
     @property
     def roles(self) -> frozenset[str]:
@@ -261,6 +360,20 @@ class TimeAgg(TimeExpr):
             times.extend(e.occurrence_time for e in entities_for(role, binding))
         return time_aggregate(self.aggregate)(times)
 
+    def lower(self) -> Callable[[Binding], tuple[object, TemporalEntity]]:
+        aggregate = time_aggregate(self.aggregate)
+        arg_roles = self.arg_roles
+
+        def resolve(binding: Binding) -> tuple[object, TemporalEntity]:
+            times: list[TemporalEntity] = []
+            for role in arg_roles:
+                times.extend(
+                    e.occurrence_time for e in entities_for(role, binding)
+                )
+            return None, aggregate(times)
+
+        return resolve
+
     @property
     def roles(self) -> frozenset[str]:
         return frozenset(self.arg_roles)
@@ -283,8 +396,31 @@ class TemporalCondition(Condition):
     op: TemporalOp
     rhs: TimeExpr
 
+    COST = 4.0
+
     def evaluate(self, binding: Binding) -> bool:
         return self.op.apply(self.lhs.resolve(binding), self.rhs.resolve(binding))
+
+    def lower(self) -> LoweredPredicate:
+        resolve_lhs = self.lhs.lower()
+        resolve_rhs = self.rhs.lower()
+        admits = self.op.admits
+        # Most operators admit exactly one relation; an identity check
+        # skips the per-evaluation frozenset (enum hash) membership.
+        only = next(iter(admits)) if len(admits) == 1 else None
+
+        def run(binding: Binding, cache: object) -> bool:
+            key_a, a = resolve_lhs(binding)
+            key_b, b = resolve_rhs(binding)
+            if cache is not None and key_a is not None and key_b is not None:
+                relation = cache.temporal_relation(key_a, a, key_b, b)
+            else:
+                relation = temporal_relation(a, b)
+            if only is not None:
+                return relation is only
+            return relation in admits
+
+        return run
 
     @property
     def roles(self) -> frozenset[str]:
@@ -308,6 +444,8 @@ class TemporalMeasureCondition(Condition):
     op: RelationalOp
     constant: float
 
+    COST = 3.0
+
     def __post_init__(self) -> None:
         if not self.arg_roles:
             raise ConditionError("temporal measure needs at least one role")
@@ -319,6 +457,22 @@ class TemporalMeasureCondition(Condition):
             times.extend(e.occurrence_time for e in entities_for(role, binding))
         value = time_measure(self.measure)(times)
         return self.op.apply(value, self.constant)
+
+    def lower(self) -> LoweredPredicate:
+        measure = time_measure(self.measure)
+        compare = self.op.resolve()
+        constant = self.constant
+        arg_roles = self.arg_roles
+
+        def run(binding: Binding, cache: object) -> bool:
+            times: list[TemporalEntity] = []
+            for role in arg_roles:
+                times.extend(
+                    e.occurrence_time for e in entities_for(role, binding)
+                )
+            return compare(measure(times), constant)
+
+        return run
 
     @property
     def roles(self) -> frozenset[str]:
@@ -338,6 +492,14 @@ class SpaceExpr(ABC):
 
     @abstractmethod
     def resolve(self, binding: Binding) -> SpatialEntity: ...
+
+    def lower(self) -> Callable[[Binding], tuple[object, SpatialEntity]]:
+        """Pre-bound resolver returning ``(cache_key | None, value)``.
+
+        Same contract as :meth:`TimeExpr.lower`, over locations.
+        """
+        resolve = self.resolve
+        return lambda binding: (None, resolve(binding))
 
     @property
     @abstractmethod
@@ -364,6 +526,19 @@ class LocationOf(SpaceExpr):
             return locations[0]
         return space_aggregate("hull")(locations)
 
+    def lower(self) -> Callable[[Binding], tuple[object, SpatialEntity]]:
+        role = self.role
+        hull = space_aggregate("hull")
+
+        def resolve(binding: Binding) -> tuple[object, SpatialEntity]:
+            entities = entities_for(role, binding)
+            if len(entities) == 1:
+                entity = entities[0]
+                return id(entity), entity.occurrence_location
+            return None, hull([e.occurrence_location for e in entities])
+
+        return resolve
+
     @property
     def roles(self) -> frozenset[str]:
         return frozenset({self.role})
@@ -380,6 +555,10 @@ class LocationConst(SpaceExpr):
 
     def resolve(self, binding: Binding) -> SpatialEntity:
         return self.value
+
+    def lower(self) -> Callable[[Binding], tuple[object, SpatialEntity]]:
+        result = (("const", id(self.value)), self.value)
+        return lambda binding: result
 
     @property
     def roles(self) -> frozenset[str]:
@@ -409,6 +588,20 @@ class SpaceAgg(SpaceExpr):
             )
         return space_aggregate(self.aggregate)(locations)
 
+    def lower(self) -> Callable[[Binding], tuple[object, SpatialEntity]]:
+        aggregate = space_aggregate(self.aggregate)
+        arg_roles = self.arg_roles
+
+        def resolve(binding: Binding) -> tuple[object, SpatialEntity]:
+            locations: list[SpatialEntity] = []
+            for role in arg_roles:
+                locations.extend(
+                    e.occurrence_location for e in entities_for(role, binding)
+                )
+            return None, aggregate(locations)
+
+        return resolve
+
     @property
     def roles(self) -> frozenset[str]:
         return frozenset(self.arg_roles)
@@ -431,8 +624,29 @@ class SpatialCondition(Condition):
     op: SpatialOp
     rhs: SpaceExpr
 
+    COST = 6.0
+
     def evaluate(self, binding: Binding) -> bool:
         return self.op.apply(self.lhs.resolve(binding), self.rhs.resolve(binding))
+
+    def lower(self) -> LoweredPredicate:
+        resolve_lhs = self.lhs.lower()
+        resolve_rhs = self.rhs.lower()
+        admits = self.op.admits
+        only = next(iter(admits)) if len(admits) == 1 else None
+
+        def run(binding: Binding, cache: object) -> bool:
+            key_a, a = resolve_lhs(binding)
+            key_b, b = resolve_rhs(binding)
+            if cache is not None and key_a is not None and key_b is not None:
+                relation = cache.spatial_relation(key_a, a, key_b, b)
+            else:
+                relation = spatial_relation(a, b)
+            if only is not None:
+                return relation is only
+            return relation in admits
+
+        return run
 
     @property
     def roles(self) -> frozenset[str]:
@@ -458,6 +672,8 @@ class SpatialMeasureCondition(Condition):
     constant: float
     constant_location: SpatialEntity | None = field(default=None)
 
+    COST = 5.0
+
     def __post_init__(self) -> None:
         if not self.arg_roles:
             raise ConditionError("spatial measure needs at least one role")
@@ -473,6 +689,72 @@ class SpatialMeasureCondition(Condition):
             locations.append(self.constant_location)
         value = space_measure(self.measure)(locations)
         return self.op.apply(value, self.constant)
+
+    def lower(self) -> LoweredPredicate:
+        measure = space_measure(self.measure)
+        compare = self.op.resolve()
+        constant = self.constant
+        arg_roles = self.arg_roles
+        constant_location = self.constant_location
+
+        def generic(binding: Binding, cache: object) -> bool:
+            locations: list[SpatialEntity] = []
+            for role in arg_roles:
+                locations.extend(
+                    e.occurrence_location for e in entities_for(role, binding)
+                )
+            if constant_location is not None:
+                locations.append(constant_location)
+            return compare(measure(locations), constant)
+
+        if self.measure != "distance":
+            return generic
+
+        # ``g_distance`` over exactly two single entities (or one entity
+        # and a constant point) is the planner-prunable hot predicate;
+        # it reads through the per-batch memo so a distance computed by
+        # index pruning is never recomputed during evaluation.
+        if constant_location is None and len(arg_roles) == 2:
+            role_a, role_b = arg_roles
+
+            def run_pair(binding: Binding, cache: object) -> bool:
+                bound_a = entities_for(role_a, binding)
+                bound_b = entities_for(role_b, binding)
+                if cache is not None and len(bound_a) == 1 and len(bound_b) == 1:
+                    a, b = bound_a[0], bound_b[0]
+                    value = cache.distance(
+                        id(a), a.occurrence_location,
+                        id(b), b.occurrence_location,
+                    )
+                else:
+                    locations = [e.occurrence_location for e in bound_a]
+                    locations.extend(e.occurrence_location for e in bound_b)
+                    value = measure(locations)
+                return compare(value, constant)
+
+            return run_pair
+
+        if constant_location is not None and len(arg_roles) == 1:
+            role = arg_roles[0]
+            const_key = ("const", id(constant_location))
+
+            def run_const(binding: Binding, cache: object) -> bool:
+                bound = entities_for(role, binding)
+                if cache is not None and len(bound) == 1:
+                    entity = bound[0]
+                    value = cache.distance(
+                        id(entity), entity.occurrence_location,
+                        const_key, constant_location,
+                    )
+                else:
+                    locations = [e.occurrence_location for e in bound]
+                    locations.append(constant_location)
+                    value = measure(locations)
+                return compare(value, constant)
+
+            return run_const
+
+        return generic
 
     @property
     def roles(self) -> frozenset[str]:
@@ -502,9 +784,22 @@ class ConfidenceCondition(Condition):
     op: RelationalOp
     constant: float
 
+    COST = 1.0
+
     def evaluate(self, binding: Binding) -> bool:
         rho = min(confidence_of(e) for e in entities_for(self.role, binding))
         return self.op.apply(rho, self.constant)
+
+    def lower(self) -> LoweredPredicate:
+        role = self.role
+        compare = self.op.resolve()
+        constant = self.constant
+
+        def run(binding: Binding, cache: object) -> bool:
+            rho = min(confidence_of(e) for e in entities_for(role, binding))
+            return compare(rho, constant)
+
+        return run
 
     @property
     def roles(self) -> frozenset[str]:

@@ -55,6 +55,20 @@ class RelationalOp(enum.Enum):
             return equal if self is RelationalOp.EQ else not equal
         return _RELATIONAL_FUNCS[self](lhs, rhs)
 
+    def resolve(self) -> Callable[[float, float], bool]:
+        """A plain comparison callable specialized for this operator.
+
+        Condition lowering (:meth:`repro.core.conditions.Condition.lower`)
+        resolves the operator once at compile time so the hot path skips
+        the per-evaluation enum dispatch; the returned callable computes
+        exactly what :meth:`apply` computes.
+        """
+        if self is RelationalOp.EQ:
+            return _close_eq
+        if self is RelationalOp.NE:
+            return _close_ne
+        return _RELATIONAL_FUNCS[self]
+
     @classmethod
     def from_symbol(cls, symbol: str) -> "RelationalOp":
         """Look up an operator by its source symbol (used by the DSL)."""
@@ -62,6 +76,14 @@ class RelationalOp(enum.Enum):
             if op.value == symbol:
                 return op
         raise ConditionError(f"unknown relational operator {symbol!r}")
+
+
+def _close_eq(lhs: float, rhs: float) -> bool:
+    return math.isclose(lhs, rhs, rel_tol=1e-9, abs_tol=1e-9)
+
+
+def _close_ne(lhs: float, rhs: float) -> bool:
+    return not math.isclose(lhs, rhs, rel_tol=1e-9, abs_tol=1e-9)
 
 
 _RELATIONAL_FUNCS: dict[RelationalOp, Callable[[float, float], bool]] = {

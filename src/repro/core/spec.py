@@ -40,6 +40,9 @@ __all__ = [
     "EventSpecification",
 ]
 
+_OBSERVATION_SIG = object()
+"""Routing-table bucket shared by every physical observation."""
+
 
 @dataclass(frozen=True)
 class EntitySelector:
@@ -101,6 +104,33 @@ class EntitySelector:
         if isinstance(location, PointLocation):
             return self.region.contains_point(location)
         return self.region.intersects(location)
+
+    def residual_check(self, kinds_undecided: bool):
+        """Composed check of the clauses a routing signature cannot decide.
+
+        ``EventSpecification`` routes entities by a cheap signature that
+        settles the layers clause (and, for event instances, the kinds
+        clause) up front; this returns a predicate covering only what
+        remains — ``None`` when nothing does, so fully decided selectors
+        cost zero per-entity work.
+        """
+        checks = []
+        if kinds_undecided and self.kinds is not None:
+            checks.append(self._kind_matches)
+        if self.min_confidence > 0.0:
+            minimum = self.min_confidence
+            checks.append(lambda entity: confidence_of(entity) >= minimum)
+        if self.region is not None:
+            checks.append(self._in_region)
+        if not checks:
+            return None
+        if len(checks) == 1:
+            return checks[0]
+
+        def run(entity: Entity) -> bool:
+            return all(check(entity) for check in checks)
+
+        return run
 
 
 @dataclass(frozen=True)
@@ -223,19 +253,88 @@ class EventSpecification:
             raise SpecificationError(
                 f"group_roles {sorted(unknown_groups)} are not declared roles"
             )
+        object.__setattr__(self, "_roles", tuple(sorted(self.selectors)))
+        # Lazily built selector routing table: entity signature ->
+        # (static_roles, residual_entries); see candidate_roles().
+        object.__setattr__(self, "_route_table", {})
 
     @property
     def roles(self) -> tuple[str, ...]:
-        """Declared role names in a stable order."""
-        return tuple(sorted(self.selectors))
+        """Declared role names in a stable (sorted) order."""
+        return self._roles
 
     def candidate_roles(self, entity: Entity) -> tuple[str, ...]:
-        """Roles whose selector accepts the given entity."""
+        """Roles whose selector accepts the given entity.
+
+        Routed through a per-spec table keyed by the entity's cheap
+        signature — ``(layer, event_id)`` for event instances, one
+        shared bucket for physical observations — so clauses decidable
+        from the signature alone (kinds, layers) are evaluated once per
+        distinct signature instead of once per entity per batch.  Roles
+        whose selector needs entity state the signature cannot capture
+        run only the undecided residual (region, confidence,
+        observation kinds); unknown entity species bypass the table
+        entirely.  The result is always identical to the unrouted scan
+        (pinned by tests and a micro-benchmark).
+        """
+        if isinstance(entity, EventInstance):
+            sig: object = (entity.layer, entity.event_id)
+        elif isinstance(entity, PhysicalObservation):
+            sig = _OBSERVATION_SIG
+        else:
+            return self._selector_scan(entity)
+        table = self._route_table
+        route = table.get(sig)
+        if route is None:
+            route = table[sig] = self._build_route(sig)
+        static, residual = route
+        if residual is None:
+            return static
         return tuple(
             role
-            for role in self.roles
+            for role, check in residual
+            if check is None or check(entity)
+        )
+
+    def _selector_scan(self, entity: Entity) -> tuple[str, ...]:
+        """The unrouted fallback: every selector checked in full."""
+        return tuple(
+            role
+            for role in self._roles
             if self.selectors[role].matches(entity)
         )
+
+    def _build_route(self, sig: object) -> tuple:
+        """Routing entry for one entity signature.
+
+        Returns ``(static_roles, None)`` when every surviving selector
+        is fully decided by the signature (the precomputed tuple is then
+        returned with zero per-entity work), else ``(None, entries)``
+        where ``entries`` pairs each statically admissible role with its
+        residual check — only the clauses the signature left undecided —
+        or ``None`` when statically accepted.
+        """
+        entries: list[tuple[str, object]] = []
+        for role in self._roles:
+            selector = self.selectors[role]
+            if sig is _OBSERVATION_SIG:
+                if (
+                    selector.layers is not None
+                    and EventLayer.OBSERVATION not in selector.layers
+                ):
+                    continue
+                check = selector.residual_check(kinds_undecided=True)
+            else:
+                layer, event_id = sig
+                if selector.layers is not None and layer not in selector.layers:
+                    continue
+                if selector.kinds is not None and event_id not in selector.kinds:
+                    continue
+                check = selector.residual_check(kinds_undecided=False)
+            entries.append((role, check))
+        if all(check is None for _, check in entries):
+            return (tuple(role for role, _ in entries), None)
+        return (None, tuple(entries))
 
     def describe(self) -> str:
         """Rendering close to the paper's ``{Eid, (...)}`` notation."""

@@ -1,5 +1,10 @@
 """Detection engine: windows, indexes, plans, intervals, localization."""
 
+from repro.detect.compiler import (
+    CompiledCondition,
+    PredicateCache,
+    compile_condition,
+)
 from repro.detect.confidence import FUSION_METHODS, confidence_from_margin, fuse
 from repro.detect.engine import DetectionEngine, EngineStats, Match, build_instance
 from repro.detect.index import DEFAULT_CELL_SIZE, RoleIndex
@@ -30,6 +35,9 @@ __all__ = [
     "EngineStats",
     "Match",
     "build_instance",
+    "CompiledCondition",
+    "PredicateCache",
+    "compile_condition",
     "RoleIndex",
     "DEFAULT_CELL_SIZE",
     "EvaluationPlan",

@@ -1,0 +1,312 @@
+"""Condition-tree compilation: flat evaluators + memoized predicate cache.
+
+PR 1 made binding *enumeration* plan-driven (indexes prune candidates);
+this module removes the remaining per-binding interpretation overhead.
+:func:`compile_condition` lowers a specification's composite condition
+tree (Eq. 4.5) into a flat, closure-based evaluator:
+
+* every leaf becomes a pre-bound callable — attribute getters,
+  aggregation functions and comparison operators are resolved once at
+  spec-install time instead of once per binding
+  (:meth:`~repro.core.conditions.Condition.lower`);
+* conjunctions are flattened into short-circuiting lists ordered
+  cheapest-first by each leaf's static
+  :attr:`~repro.core.conditions.Condition.COST` rank;
+* pairwise spatial/temporal predicates (distance, containment relations,
+  interval relations) read through a :class:`PredicateCache` — a
+  per-batch memo keyed by ``(predicate, entity_key, entity_key)`` owned
+  by :meth:`~repro.detect.engine.DetectionEngine.submit_batch`, so a
+  distance computed while pruning (``RoleIndex.near``) or for one
+  binding is never recomputed for another binding in the same batch.
+
+Semantics versus the interpreted tree (``ConditionNode.evaluate``,
+the ``use_planner=False`` differential baseline):
+
+* a compiled evaluator returns ``True`` exactly when the interpreted
+  tree returns ``True`` — match sets are always identical (verified per
+  scenario by the PR 2 conformance goldens);
+* when the compiled evaluator raises, the interpreted tree raises the
+  same exception class on the same binding;
+* the single permitted divergence: a short-circuiting conjunction may
+  return ``False`` where the interpreted (non-short-circuiting) tree
+  raises, because a cheap conjunct disproved the binding before an
+  expensive erroring conjunct ran.  The engine treats both outcomes as
+  a non-match, so this only moves the ``evaluation_errors`` tally.
+
+Short-circuiting with reordering is only sound where ``False`` and
+"raise" are interchangeable outcomes.  That holds at the condition root
+(the engine maps both to a non-match) and recursively through ``AND``
+children, but *not* under ``OR`` or ``NOT`` (a swallowed error could
+flip the overall result to ``True``).  The compiler therefore tracks a
+``lenient`` flag: conjunctions in lenient positions flatten, reorder and
+short-circuit; everything else compiles to exact-order evaluators whose
+observable behavior is identical to the interpreter's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.aggregates import space_measure
+from repro.core.composite import And, ConditionNode, Leaf, Not, Or
+from repro.core.conditions import Binding, Condition, LoweredPredicate
+from repro.core.errors import (
+    BindingError,
+    ConditionError,
+    SpatialError,
+    TemporalError,
+)
+from repro.core.space_model import SpatialEntity, spatial_relation
+from repro.core.time_model import TemporalEntity, temporal_relation
+
+__all__ = ["PredicateCache", "CompiledCondition", "compile_condition"]
+
+#: Error classes the engine treats as "binding is a non-match".
+EVALUATION_ERRORS = (BindingError, ConditionError, TemporalError, SpatialError)
+
+_MISS = object()
+_distance = space_measure("distance")
+
+
+class PredicateCache:
+    """Per-batch memo for pairwise spatial/temporal predicate results.
+
+    One cache instance lives on the :class:`DetectionEngine`;
+    ``submit_batch`` calls :meth:`reset` before evaluating a batch, so
+    entries never outlive the batch that computed them (window mutation
+    between batches can therefore never serve a stale value).  Keys are
+    ``(predicate, entity_key, entity_key)`` tuples where the entity key
+    is the entity's *batch-stable identity* — ``id(entity)`` for bound
+    entities (every keyed entity is referenced by a window or the batch
+    for the whole evaluation, so ids cannot be recycled mid-batch;
+    hashing an int is also several times cheaper than hashing a
+    provenance tuple) and ``("const", id(value))`` for condition
+    constants.  Values are pure functions of the keyed entities'
+    immutable time/location, so intra-batch reuse is exact.
+
+    ``hits`` / ``misses`` accumulate across batches (they are mirrored
+    into :class:`~repro.detect.engine.EngineStats` for the benchmark
+    harness); :meth:`reset` clears only the memo store.
+    """
+
+    __slots__ = ("_store", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._store: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def reset(self) -> None:
+        """Drop every memo entry (start of a new batch)."""
+        self._store.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime fraction of lookups answered from the memo."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def distance(
+        self,
+        key_a: object,
+        loc_a: SpatialEntity,
+        key_b: object,
+        loc_b: SpatialEntity,
+    ) -> float:
+        """Memoized ``g_distance(loc_a, loc_b)`` (symmetric)."""
+        store = self._store
+        key = ("dist", key_a, key_b)
+        value = store.get(key, _MISS)
+        if value is not _MISS:
+            self.hits += 1
+            return value
+        self.misses += 1
+        value = _distance((loc_a, loc_b))
+        store[key] = value
+        store[("dist", key_b, key_a)] = value
+        return value
+
+    def store_distance(self, key_a: object, key_b: object, value: float) -> None:
+        """Pre-seed a (symmetric) distance computed outside the cache.
+
+        Used by :meth:`~repro.detect.index.RoleIndex.near`: pruning
+        measures every candidate's distance anyway, and the accepted
+        candidates are exactly the ones condition evaluation will ask
+        about again.
+        """
+        store = self._store
+        store[("dist", key_a, key_b)] = value
+        store[("dist", key_b, key_a)] = value
+
+    def temporal_relation(
+        self,
+        key_a: object,
+        a: TemporalEntity,
+        key_b: object,
+        b: TemporalEntity,
+    ) -> object:
+        """Memoized :func:`~repro.core.time_model.temporal_relation`."""
+        store = self._store
+        key = ("trel", key_a, key_b)
+        value = store.get(key, _MISS)
+        if value is not _MISS:
+            self.hits += 1
+            return value
+        self.misses += 1
+        value = temporal_relation(a, b)
+        store[key] = value
+        return value
+
+    def spatial_relation(
+        self,
+        key_a: object,
+        a: SpatialEntity,
+        key_b: object,
+        b: SpatialEntity,
+    ) -> object:
+        """Memoized :func:`~repro.core.space_model.spatial_relation`."""
+        store = self._store
+        key = ("srel", key_a, key_b)
+        value = store.get(key, _MISS)
+        if value is not _MISS:
+            self.hits += 1
+            return value
+        self.misses += 1
+        value = spatial_relation(a, b)
+        store[key] = value
+        return value
+
+
+@dataclass(frozen=True)
+class CompiledCondition:
+    """A condition tree lowered to one flat evaluator closure.
+
+    Attributes:
+        fn: The evaluator; call as ``fn(binding, cache)`` where ``cache``
+            is a :class:`PredicateCache` or ``None``.
+        cost: Total static cost rank (sum of leaf costs).
+        conjunction_order: When the root is a conjunction: the flattened
+            conjunct descriptions in *evaluation* (cheapest-first) order,
+            for tracing and tests.  ``None`` otherwise.
+    """
+
+    fn: LoweredPredicate
+    cost: float
+    conjunction_order: tuple[str, ...] | None = None
+
+    def __call__(self, binding: Binding, cache: PredicateCache | None = None) -> bool:
+        return self.fn(binding, cache)
+
+
+def _flatten_and(node: And) -> list[ConditionNode]:
+    """Conjuncts of nested ``AND`` nodes, in left-to-right source order."""
+    out: list[ConditionNode] = []
+    for child in node.children:
+        if isinstance(child, And):
+            out.extend(_flatten_and(child))
+        else:
+            out.append(child)
+    return out
+
+
+def _compile(node: ConditionNode, lenient: bool) -> tuple[LoweredPredicate, float]:
+    if isinstance(node, Leaf):
+        return node.condition.lower(), float(node.condition.COST)
+
+    if isinstance(node, Not):
+        child_fn, cost = _compile(node.child, False)
+
+        def run_not(binding: Binding, cache: object) -> bool:
+            return not child_fn(binding, cache)
+
+        return run_not, cost
+
+    if isinstance(node, Or):
+        compiled = [_compile(child, False) for child in node.children]
+        fns = tuple(fn for fn, _ in compiled)
+
+        # Mirrors the interpreter exactly: every child evaluates in
+        # source order (no short-circuit), so the first raising child
+        # propagates regardless of earlier ``True`` children.
+        def run_or(binding: Binding, cache: object) -> bool:
+            result = False
+            for fn in fns:
+                if fn(binding, cache):
+                    result = True
+            return result
+
+        return run_or, sum(cost for _, cost in compiled)
+
+    if isinstance(node, And):
+        conjuncts = _flatten_and(node)
+        compiled = [_compile(child, lenient) for child in conjuncts]
+        total = sum(cost for _, cost in compiled)
+
+        if not lenient:
+            strict_fns = tuple(fn for fn, _ in compiled)
+
+            def run_and_strict(binding: Binding, cache: object) -> bool:
+                result = True
+                for fn in strict_fns:
+                    if not fn(binding, cache):
+                        result = False
+                return result
+
+            return run_and_strict, total
+
+        # Lenient position: evaluate cheapest-first and stop at the
+        # first False.  Evaluation errors are deferred so that, when no
+        # conjunct disproves the binding, the raised error is the same
+        # one (same source-order conjunct, same class) the interpreter
+        # raises.
+        order = sorted(
+            range(len(compiled)), key=lambda i: (compiled[i][1], i)
+        )
+        ordered = tuple((i, compiled[i][0]) for i in order)
+        sentinel = len(compiled)
+
+        def run_and(binding: Binding, cache: object) -> bool:
+            first_error: BaseException | None = None
+            first_index = sentinel
+            for index, fn in ordered:
+                try:
+                    if not fn(binding, cache):
+                        return False
+                except EVALUATION_ERRORS as exc:
+                    if index < first_index:
+                        first_error, first_index = exc, index
+            if first_error is not None:
+                raise first_error
+            return True
+
+        return run_and, total
+
+    if isinstance(node, ConditionNode):  # user-defined node type
+        evaluate = node.evaluate
+        return (lambda binding, cache: evaluate(binding)), 10.0
+
+    raise ConditionError(f"cannot compile non-condition node {node!r}")
+
+
+def compile_condition(node: ConditionNode | Condition) -> CompiledCondition:
+    """Compile a condition tree into one flat evaluator closure.
+
+    Accepts a bare leaf :class:`~repro.core.conditions.Condition` as a
+    convenience (mirroring :func:`repro.core.composite.as_node`).
+    """
+    if isinstance(node, Condition):
+        node = Leaf(node)
+    fn, cost = _compile(node, lenient=True)
+    conjunction_order: tuple[str, ...] | None = None
+    if isinstance(node, And):
+        # Derive the order from the same cost ranking _compile used
+        # (per-conjunct recompilation is cheap and cannot drift).
+        conjuncts = _flatten_and(node)
+        costs = [_compile(child, True)[1] for child in conjuncts]
+        order = sorted(range(len(conjuncts)), key=lambda i: (costs[i], i))
+        conjunction_order = tuple(conjuncts[i].describe() for i in order)
+    return CompiledCondition(fn=fn, cost=cost, conjunction_order=conjunction_order)

@@ -44,6 +44,7 @@ Evaluation properties worth knowing:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from repro.core.conditions import Binding
@@ -67,6 +68,11 @@ from repro.core.space_model import PointLocation, SpatialEntity
 from repro.core.spec import EventSpecification
 from repro.core.time_model import TemporalEntity, TimePoint
 from repro.core.aggregates import space_aggregate, time_aggregate, value_aggregate
+from repro.detect.compiler import (
+    CompiledCondition,
+    PredicateCache,
+    compile_condition,
+)
 from repro.detect.confidence import fuse
 from repro.detect.index import DEFAULT_CELL_SIZE, RoleIndex
 from repro.detect.planner import EvaluationPlan, compile_plan
@@ -84,10 +90,19 @@ class Match:
     tick: int
 
     def entities(self) -> list[Entity]:
-        """All bound entities, groups flattened, role order."""
+        """All bound entities, groups flattened, in ``spec.roles`` order.
+
+        ``spec.roles`` is already the canonical sorted role order, so
+        iterating it avoids re-sorting the binding keys on every
+        materialized match (instance ``sources`` ordering is pinned by
+        a regression test).
+        """
         out: list[Entity] = []
-        for role in sorted(self.binding):
-            bound = self.binding[role]
+        binding = self.binding
+        for role in self.spec.roles:
+            bound = binding.get(role)
+            if bound is None:
+                continue
             if isinstance(bound, tuple):
                 out.extend(bound)
             else:
@@ -105,6 +120,19 @@ class EngineStats:
     candidates_pruned: int = 0
     matches: int = 0
     evaluation_errors: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    evaluation_time_s: float = 0.0
+    """Wall-clock seconds spent inside :meth:`DetectionEngine.submit_batch`
+    (selector routing, window/index maintenance, enumeration and condition
+    evaluation) — the detection path the compiled/interpreted benchmark
+    comparison isolates from the rest of the simulation."""
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of predicate-memo lookups answered from the cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
 
 class DetectionEngine:
@@ -133,7 +161,9 @@ class DetectionEngine:
         self._seen: dict[str, dict[frozenset, int]] = {}
         self._last_match: dict[str, int] = {}
         self._plans: dict[str, EvaluationPlan] = {}
+        self._compiled: dict[str, CompiledCondition] = {}
         self._indexes: dict[str, dict[str, RoleIndex]] = {}
+        self._cache = PredicateCache()
         self.use_planner = use_planner
         self.index_cell_size = index_cell_size
         self.stats = EngineStats()
@@ -150,6 +180,7 @@ class DetectionEngine:
         self._seen[spec.event_id] = {}
         plan = compile_plan(spec)
         self._plans[spec.event_id] = plan
+        self._compiled[spec.event_id] = compile_condition(spec.condition)
         indexes: dict[str, RoleIndex] = {}
         if self.use_planner and plan.prunable:
             indexes = plan.build_indexes(self.index_cell_size)
@@ -165,6 +196,13 @@ class DetectionEngine:
         """Compiled evaluation plan of an installed specification."""
         try:
             return self._plans[event_id]
+        except KeyError:
+            raise ObserverError(f"no specification {event_id!r}") from None
+
+    def compiled(self, event_id: str) -> CompiledCondition:
+        """Compiled condition evaluator of an installed specification."""
+        try:
+            return self._compiled[event_id]
         except KeyError:
             raise ObserverError(f"no specification {event_id!r}") from None
 
@@ -197,9 +235,16 @@ class DetectionEngine:
         tick performs, so match sets, role assignments and cooldown
         behavior are identical to unbatched submission.
         """
+        started = perf_counter()
         batch = list(entities)
         self.stats.entities_submitted += len(batch)
         self.stats.batches_submitted += 1
+        # The predicate memo is scoped to this batch: entities are
+        # immutable while the batch evaluates, so memoized pairwise
+        # results are exact; resetting here makes cross-batch staleness
+        # structurally impossible.
+        cache = self._cache
+        cache.reset()
         matches: list[Match] = []
         for spec in self._specs.values():
             staged: list[tuple[Entity, tuple[str, ...]]] = []
@@ -222,7 +267,12 @@ class DetectionEngine:
                     index = indexes.get(role)
                     if index is not None:
                         index.add(entity)
-                matches.extend(self._evaluate_spec(spec, entity, roles, now))
+                matches.extend(
+                    self._evaluate_spec(spec, entity, roles, now, cache)
+                )
+        self.stats.cache_hits = cache.hits
+        self.stats.cache_misses = cache.misses
+        self.stats.evaluation_time_s += perf_counter() - started
         return matches
 
     def _evaluate_spec(
@@ -231,6 +281,7 @@ class DetectionEngine:
         entity: Entity,
         candidate_roles: tuple[str, ...],
         now: int,
+        cache: PredicateCache,
     ) -> list[Match]:
         seen = self._seen[spec.event_id]
         last = self._last_match.get(spec.event_id)
@@ -240,10 +291,14 @@ class DetectionEngine:
             and now - last < spec.cooldown
         ):
             return []
+        # The planner path evaluates through the compiled flat closure
+        # (memoized predicates, pre-resolved operators); the naive path
+        # keeps interpreting the raw tree as the differential baseline.
+        evaluator = self._compiled[spec.event_id].fn if self.use_planner else None
         matches: list[Match] = []
         cooling = False
         for target_role in candidate_roles:
-            for binding in self._enumerate(spec, target_role, entity, now):
+            for binding in self._enumerate(spec, target_role, entity, now, cache):
                 if not self._distinct(binding, spec):
                     continue
                 key = self._binding_key(binding)
@@ -251,7 +306,10 @@ class DetectionEngine:
                     continue
                 self.stats.bindings_evaluated += 1
                 try:
-                    holds = spec.condition.evaluate(binding)
+                    if evaluator is not None:
+                        holds = evaluator(binding, cache)
+                    else:
+                        holds = spec.condition.evaluate(binding)
                 except (BindingError, ConditionError, TemporalError, SpatialError):
                     # A binding the condition cannot judge (missing
                     # attribute, open interval in a closed-interval
@@ -280,6 +338,7 @@ class DetectionEngine:
         target_role: str,
         entity: Entity,
         now: int,
+        cache: PredicateCache | None = None,
     ) -> Iterator[dict[str, Entity | tuple[Entity, ...]]]:
         """Candidate bindings pinning ``entity`` to ``target_role``.
 
@@ -316,7 +375,7 @@ class DetectionEngine:
             if not live:
                 return None
             if planned:
-                pruned = plan.candidates(role, pinned, indexes.get(role))
+                pruned = plan.candidates(role, pinned, indexes.get(role), cache)
                 if pruned is not None:
                     self.stats.candidates_pruned += len(live) - len(pruned)
                     return pruned if pruned else None
@@ -410,6 +469,7 @@ class DetectionEngine:
         for seen in self._seen.values():
             seen.clear()
         self._last_match.clear()
+        self._cache.reset()
 
 
 # ----------------------------------------------------------------------

@@ -56,6 +56,7 @@ class _Entry:
     point: PointLocation | None
     lo: int | None  # earliest possible occurrence tick (None = unknown)
     hi: int | None  # latest possible occurrence tick (None = unbounded)
+    key: int = 0  # id(entity): the batch-stable predicate-memo key
 
 
 def tick_bounds(entity: Entity) -> tuple[int | None, int | None]:
@@ -114,7 +115,7 @@ class RoleIndex:
         point = location if isinstance(location, PointLocation) else None
         lo, hi = tick_bounds(entity)
         seq = next(self._seq)
-        entry = _Entry(seq, entity, point, lo, hi)
+        entry = _Entry(seq, entity, point, lo, hi, id(entity))
         self._entries[seq] = entry
         self._order.append(seq)
         if point is None:
@@ -187,20 +188,47 @@ class RoleIndex:
                     if bucket:
                         yield bucket
 
-    def near(self, point: PointLocation, radius: float) -> set[int]:
+    def near(
+        self,
+        point: PointLocation,
+        radius: float,
+        *,
+        cache: object | None = None,
+        anchor_key: object | None = None,
+    ) -> set[int]:
         """Seqs whose location can lie within ``radius`` of ``point``.
 
         Includes every unlocated (field-located) entry — the exact
         condition, not the index, judges those.
+
+        When ``cache`` (a :class:`~repro.detect.compiler.PredicateCache`)
+        and ``anchor_key`` (the memo key of whatever ``point`` belongs
+        to) are given, the distance of every *accepted* candidate is
+        stored in the memo, so the compiled condition evaluator reuses
+        the distances this pruning query already measured.  Rejected
+        candidates are never evaluated (that is the point of pruning),
+        so their distances are deliberately not memoized.
         """
         found = set(self._unlocated)
         entries = self._entries
-        for bucket in self._buckets_in(
+        buckets = self._buckets_in(
             point.x - radius, point.x + radius, point.y - radius, point.y + radius
-        ):
-            for seq in bucket:
-                if entries[seq].point.distance_to(point) <= radius:
-                    found.add(seq)
+        )
+        if cache is None or anchor_key is None:
+            for bucket in buckets:
+                for seq in bucket:
+                    if entries[seq].point.distance_to(point) <= radius:
+                        found.add(seq)
+        else:
+            for bucket in buckets:
+                for seq in bucket:
+                    entry = entries[seq]
+                    distance = entry.point.distance_to(point)
+                    if distance <= radius:
+                        cache.store_distance(
+                            anchor_key, entry.key, distance
+                        )
+                        found.add(seq)
         return found
 
     def covered_by(self, region: Field) -> set[int]:

@@ -35,7 +35,7 @@ never changes the match set, only the number of bindings evaluated
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.core.composite import And, ConditionNode, Leaf
 from repro.core.conditions import (
@@ -52,6 +52,9 @@ from repro.core.operators import RelationalOp, SpatialOp, TemporalOp
 from repro.core.space_model import Field, PointLocation
 from repro.core.spec import EventSpecification
 from repro.detect.index import RoleIndex, tick_bounds
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.detect.compiler import PredicateCache
 
 __all__ = [
     "DistanceClause",
@@ -206,6 +209,7 @@ class EvaluationPlan:
         role: str,
         pinned: Mapping[str, Entity],
         index: RoleIndex | None,
+        cache: "PredicateCache | None" = None,
     ) -> Sequence[Entity] | None:
         """Admissible window subset for ``role`` given pinned roles.
 
@@ -214,6 +218,11 @@ class EvaluationPlan:
         otherwise.  Order always matches window arrival order, so pruned
         enumeration visits the same bindings as exhaustive enumeration,
         minus provable non-matches.
+
+        When ``cache`` (a :class:`~repro.detect.compiler.PredicateCache`)
+        is given, range-query distances are computed through it, so the
+        compiled evaluator later reuses every distance the pruning pass
+        already measured.
         """
         if index is None:
             return None
@@ -227,7 +236,10 @@ class EvaluationPlan:
             anchor = other.occurrence_location
             if not isinstance(anchor, PointLocation):
                 continue  # field anchor: distance bound not point-reducible
-            found = index.near(anchor, clause.radius)
+            found = index.near(
+                anchor, clause.radius,
+                cache=cache, anchor_key=id(other),
+            )
             allowed = found if allowed is None else allowed & found
         for clause in self.regions:
             if clause.role == role:
@@ -235,7 +247,10 @@ class EvaluationPlan:
                 allowed = found if allowed is None else allowed & found
         for clause in self.near_constants:
             if clause.role == role:
-                found = index.near(clause.point, clause.radius)
+                found = index.near(
+                    clause.point, clause.radius,
+                    cache=cache, anchor_key=("const", id(clause.point)),
+                )
                 allowed = found if allowed is None else allowed & found
 
         # Temporal ordering constraints against pinned roles become

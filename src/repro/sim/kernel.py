@@ -24,7 +24,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.errors import SchedulingError, SimulationError
@@ -51,21 +50,39 @@ PRIORITY_DEFAULT = 10
 """Queue priority for ordinary scheduled work."""
 
 
-@dataclass(order=True)
 class _QueueEntry:
-    tick: int
-    priority: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    """One heap node, ordered by a precomputed ``(tick, priority, seq)``.
+
+    A plain ``__slots__`` class comparing through one tuple key: heap
+    sifts do a single tuple comparison instead of the field-by-field
+    ``@dataclass(order=True)`` protocol, and the slots drop the
+    per-entry ``__dict__``.  ``popped`` marks entries that left the heap
+    so the simulator's live-entry counter never double-decrements when
+    a handle is cancelled after its callback already ran.
+    """
+
+    __slots__ = ("key", "tick", "callback", "cancelled", "popped")
+
+    def __init__(
+        self, tick: int, priority: int, seq: int, callback: Callable[[], None]
+    ):
+        self.key = (tick, priority, seq)
+        self.tick = tick
+        self.callback = callback
+        self.cancelled = False
+        self.popped = False
+
+    def __lt__(self, other: "_QueueEntry") -> bool:
+        return self.key < other.key
 
 
 class EventHandle:
     """Cancellation handle for a scheduled callback."""
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_sim", "_entry")
 
-    def __init__(self, entry: _QueueEntry):
+    def __init__(self, sim: "Simulator", entry: _QueueEntry):
+        self._sim = sim
         self._entry = entry
 
     @property
@@ -80,7 +97,7 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the callback from running (idempotent)."""
-        self._entry.cancelled = True
+        self._sim._cancel(self._entry)
 
 
 class Simulator:
@@ -102,6 +119,20 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._processed = 0
+        self._live = 0  # queued, not-cancelled entries (O(1) `pending`)
+
+    # -- queue accounting --------------------------------------------
+
+    def _push(self, entry: _QueueEntry) -> None:
+        heapq.heappush(self._queue, entry)
+        self._live += 1
+
+    def _cancel(self, entry: _QueueEntry) -> None:
+        if entry.cancelled:
+            return
+        entry.cancelled = True
+        if not entry.popped:
+            self._live -= 1
 
     # -- time --------------------------------------------------------
 
@@ -154,8 +185,8 @@ class Simulator:
                 f"cannot schedule at tick {tick}; current tick is {self._tick}"
             )
         entry = _QueueEntry(tick, priority, next(self._seq), callback)
-        heapq.heappush(self._queue, entry)
-        return EventHandle(entry)
+        self._push(entry)
+        return EventHandle(self, entry)
 
     def every(
         self,
@@ -193,15 +224,13 @@ class Simulator:
                 self._tick + period, priority, next(self._seq), fire
             )
             cell[0] = entry
-            heapq.heappush(self._queue, entry)
+            self._push(entry)
 
         entry = _QueueEntry(first, priority, next(self._seq), fire)
         cell.append(entry)
-        heapq.heappush(self._queue, entry)
+        self._push(entry)
 
-        handle = EventHandle(entry)
-        # Rebind the handle's entry view lazily through the cell.
-        handle._entry = entry
+        sim = self
 
         class _PeriodicHandle(EventHandle):
             __slots__ = ()
@@ -215,9 +244,9 @@ class Simulator:
                 return cell[0].cancelled
 
             def cancel(self_inner) -> None:  # noqa: N805
-                cell[0].cancelled = True
+                sim._cancel(cell[0])
 
-        return _PeriodicHandle(cell[0])
+        return _PeriodicHandle(self, cell[0])
 
     # -- run loop ----------------------------------------------------
 
@@ -229,8 +258,10 @@ class Simulator:
         """
         while self._queue:
             entry = heapq.heappop(self._queue)
+            entry.popped = True
             if entry.cancelled:
-                continue
+                continue  # already uncounted by _cancel()
+            self._live -= 1
             if entry.tick < self._tick:
                 raise SimulationError("queue yielded an entry from the past")
             self._tick = entry.tick
@@ -273,5 +304,9 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of queued (possibly cancelled) entries."""
-        return sum(1 for entry in self._queue if not entry.cancelled)
+        """Number of queued, not-cancelled entries.
+
+        Maintained as a live counter on push/pop/cancel — O(1) instead
+        of the previous O(n) sweep over the whole queue.
+        """
+        return self._live

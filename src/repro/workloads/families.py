@@ -101,6 +101,8 @@ def build_convoy_pursuit(
     pursuer_start: int = 60,
     pursuer_arrival: int = 330,
     horizon: int = 420,
+    pursuit_window_rounds: int = 8,
+    pursuit_cooldown_rounds: int = 4,
     use_planner: bool = True,
 ) -> Scenario:
     """A pursuer chases a convoy leader across the sensed corridor.
@@ -111,6 +113,11 @@ def build_convoy_pursuit(
     fuses a leader sighting followed by a nearby pursuer sighting into a
     ``pursuit`` composite whose centroid tracks the chase; the CCU
     raises ``pursuit_alarm`` and illuminates the corridor.
+
+    ``pursuit_window_rounds`` / ``pursuit_cooldown_rounds`` size the
+    sink's ``pursuit`` window and cooldown in sampling rounds (the
+    medium registry preset widens the window for benchmark pressure;
+    defaults preserve the golden-pinned small behavior).
     """
     system = CPSSystem(seed=seed, use_planner=use_planner)
     width = (cols - 1) * spacing
@@ -193,8 +200,8 @@ def build_convoy_pursuit(
                 "distance", ("l", "p"), RelationalOp.LT, 1.5 * spacing
             ),
         ),
-        window=8 * sampling_period,
-        cooldown=4 * sampling_period,
+        window=pursuit_window_rounds * sampling_period,
+        cooldown=pursuit_cooldown_rounds * sampling_period,
         output=OutputPolicy(time="latest", space="centroid", confidence="mean"),
         description="a pursuer sighted close behind the convoy leader",
     )
@@ -572,6 +579,8 @@ def build_high_density(
     source_amplitude: float = 70.0,
     source_sigma: float = 12.0,
     horizon: int = 240,
+    pair_window_rounds: int = 5,
+    pair_cooldown_rounds: int = 1,
     use_planner: bool = True,
 ) -> Scenario:
     """Clustered warm bursts on a dense grid stress the role index.
@@ -582,6 +591,12 @@ def build_high_density(
     events — the workload shape where hash-grid candidate pruning pays
     and where an index/window desynchronization would instantly diverge
     from the naive engine.
+
+    ``pair_window_rounds`` / ``pair_cooldown_rounds`` size the sink's
+    ``warm_pair`` window and cooldown in sampling rounds; the medium
+    registry preset cranks the window (and drops the cooldown) so the
+    benchmark rows exercise real window pressure instead of the
+    cooldown-gated trickle the small conformance preset pins.
     """
     system = CPSSystem(seed=seed, use_planner=use_planner)
     width = (cols - 1) * spacing
@@ -662,8 +677,8 @@ def build_high_density(
                 "distance", ("a", "b"), RelationalOp.LT, 1.5 * spacing
             ),
         ),
-        window=5 * sampling_period,
-        cooldown=sampling_period,
+        window=pair_window_rounds * sampling_period,
+        cooldown=pair_cooldown_rounds * sampling_period,
         output=OutputPolicy(time="latest", space="centroid", confidence="mean"),
         description="two warm reports from adjacent motes",
     )

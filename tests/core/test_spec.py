@@ -197,3 +197,87 @@ class TestEventSpecification:
             condition=SIMPLE_CONDITION,
         )
         assert spec.condition.leaves() == (SIMPLE_CONDITION,)
+
+
+class TestSelectorRouting:
+    """candidate_roles routes through the per-spec signature table and
+    must stay exactly equivalent to the unrouted full-selector scan."""
+
+    @staticmethod
+    def _routed_spec():
+        return EventSpecification(
+            event_id="routed",
+            selectors={
+                "a": EntitySelector(kinds={"hot"}, layers={EventLayer.SENSOR}),
+                "b": EntitySelector(kinds={"hot", "cold"}),
+                "c": EntitySelector(),  # accepts anything
+                "d": EntitySelector(
+                    kinds={"hot"}, region=Circle(PointLocation(0, 0), 5.0)
+                ),
+                "e": EntitySelector(min_confidence=0.95),
+            },
+            condition=AttributeCondition(
+                "last", (AttributeTerm("a", "hot"),), RelationalOp.GT, 0.0
+            ),
+        )
+
+    def test_instance_routing_matches_selector_scan(self):
+        spec = self._routed_spec()
+        entities = [
+            instance("hot", EventLayer.SENSOR, rho=0.99, x=1.0),
+            instance("hot", EventLayer.SENSOR, rho=0.5, x=30.0),
+            instance("cold", EventLayer.SENSOR, rho=0.99),
+            instance("hot", EventLayer.CYBER_PHYSICAL, rho=0.99),
+            instance("other", EventLayer.SENSOR, rho=0.99),
+        ]
+        for entity in entities:
+            assert spec.candidate_roles(entity) == spec._selector_scan(entity)
+
+    def test_observation_routing_matches_selector_scan(self):
+        spec = self._routed_spec()
+        for entity in (obs("hot"), obs("cold", x=20.0), obs("other")):
+            assert spec.candidate_roles(entity) == spec._selector_scan(entity)
+
+    def test_route_table_is_populated_and_reused(self):
+        spec = self._routed_spec()
+        assert not spec._route_table
+        first = spec.candidate_roles(instance("hot", EventLayer.SENSOR, rho=0.3))
+        assert len(spec._route_table) == 1
+        second = spec.candidate_roles(instance("hot", EventLayer.SENSOR, rho=0.8))
+        assert len(spec._route_table) == 1  # same signature, cached route
+        # Confidence-gated role e admits neither (threshold 0.95).
+        assert "e" not in first and "e" not in second
+
+    def test_fully_static_signature_returns_cached_tuple(self):
+        spec = EventSpecification(
+            event_id="static",
+            selectors={
+                "a": EntitySelector(kinds={"hot"}),
+                "b": EntitySelector(layers={EventLayer.SENSOR}),
+            },
+            condition=AttributeCondition(
+                "last", (AttributeTerm("a", "hot"),), RelationalOp.GT, 0.0
+            ),
+        )
+        one = instance("hot", EventLayer.SENSOR)
+        first = spec.candidate_roles(one)
+        second = spec.candidate_roles(instance("hot", EventLayer.SENSOR, rho=0.1))
+        assert first == ("a", "b")
+        assert first is second  # zero per-entity work on static routes
+
+    def test_unknown_entity_species_falls_back(self):
+        from repro.core.event import Event
+
+        spec = self._routed_spec()
+        event = Event(
+            kind="hot", event_id="E1",
+            occurrence_time=TimePoint(1),
+            occurrence_location=PointLocation(0.0, 0.0),
+        )
+        assert spec.candidate_roles(event) == spec._selector_scan(event)
+        assert not spec._route_table  # events never populate the table
+
+    def test_roles_property_precomputed_and_sorted(self):
+        spec = self._routed_spec()
+        assert spec.roles == ("a", "b", "c", "d", "e")
+        assert spec.roles is spec.roles  # cached tuple, not re-sorted

@@ -1,0 +1,406 @@
+"""Compiled condition evaluation: differential equivalence + memo cache.
+
+The compiled evaluator's contract against the interpreted tree
+(:mod:`repro.detect.compiler` module docstring):
+
+* ``True`` if and only if the interpreted tree returns ``True``
+  (match sets can never diverge);
+* when the compiled evaluator raises, the interpreted tree raises the
+  same exception class;
+* a short-circuiting conjunction may return ``False`` where the
+  interpreter raises (a cheap conjunct disproved the binding before an
+  expensive erroring conjunct ran) — the engine maps both to non-match.
+
+The hypothesis suite below drives random condition trees against random
+(including deliberately broken) bindings and checks exactly that
+relation, with and without a :class:`PredicateCache`.  The cache tests
+pin the per-batch reset semantics: window mutation between batches can
+never serve a stale memo entry.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.composite import And, Leaf, Not, Or, as_node
+from repro.core.conditions import (
+    AttributeCondition,
+    AttributeTerm,
+    ConfidenceCondition,
+    LocationConst,
+    LocationOf,
+    SpatialCondition,
+    SpatialMeasureCondition,
+    TemporalCondition,
+    TemporalMeasureCondition,
+    TimeConst,
+    TimeOf,
+)
+from repro.core.errors import (
+    BindingError,
+    ConditionError,
+    SpatialError,
+    TemporalError,
+)
+from repro.core.instance import PhysicalObservation, SensorEventInstance
+from repro.core.operators import RelationalOp, SpatialOp, TemporalOp
+from repro.core.space_model import BoundingBox, PointLocation
+from repro.core.spec import EntitySelector, EventSpecification
+from repro.core.time_model import TimeInterval, TimePoint
+from repro.detect.compiler import (
+    EVALUATION_ERRORS,
+    PredicateCache,
+    compile_condition,
+)
+from repro.detect.engine import DetectionEngine
+
+ROLES = ("x", "y")
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+
+def observation(draw, seq: int):
+    attrs = {}
+    if draw(st.booleans()):
+        attrs["temp"] = draw(st.floats(0, 100, allow_nan=False))
+    if draw(st.booleans()):
+        attrs["hum"] = draw(st.floats(0, 100, allow_nan=False))
+    return PhysicalObservation(
+        mote_id=f"m{seq}",
+        sensor_id="s",
+        seq=seq,
+        time=TimePoint(draw(st.integers(0, 40))),
+        location=PointLocation(
+            draw(st.floats(-30, 30, allow_nan=False)),
+            draw(st.floats(-30, 30, allow_nan=False)),
+        ),
+        attributes=attrs,
+    )
+
+
+def interval_instance(draw, seq: int):
+    start = draw(st.integers(0, 30))
+    end = draw(st.one_of(st.none(), st.integers(start, start + 20)))
+    when = TimeInterval(TimePoint(start), None if end is None else TimePoint(end))
+    return SensorEventInstance(
+        observer="ob",
+        event_id="ev",
+        seq=seq,
+        generated_time=TimePoint(start),
+        generated_location=PointLocation(0.0, 0.0),
+        estimated_time=when,
+        estimated_location=PointLocation(
+            draw(st.floats(-30, 30, allow_nan=False)),
+            draw(st.floats(-30, 30, allow_nan=False)),
+        ),
+        confidence=draw(st.floats(0.0, 1.0, allow_nan=False)),
+    )
+
+
+@st.composite
+def bindings(draw):
+    binding = {}
+    seq = 0
+    for role in ROLES:
+        shape = draw(st.sampled_from(("missing", "single", "group")))
+        if shape == "missing":
+            continue
+        count = 1 if shape == "single" else draw(st.integers(1, 3))
+        entities = []
+        for _ in range(count):
+            if draw(st.booleans()):
+                entities.append(observation(draw, seq))
+            else:
+                entities.append(interval_instance(draw, seq))
+            seq += 1
+        binding[role] = entities[0] if shape == "single" else tuple(entities)
+    return binding
+
+
+REL_OPS = st.sampled_from(list(RelationalOp))
+TIME_OPS = st.sampled_from(
+    [
+        TemporalOp.BEFORE,
+        TemporalOp.AFTER,
+        TemporalOp.SIMULTANEOUS,
+        TemporalOp.DURING,
+        TemporalOp.OVERLAPS,
+        TemporalOp.WITHIN,
+        TemporalOp.INTERSECTS,
+    ]
+)
+SPACE_OPS = st.sampled_from(
+    [SpatialOp.INSIDE, SpatialOp.OUTSIDE, SpatialOp.JOINT, SpatialOp.DISJOINT]
+)
+REGION = BoundingBox(-15.0, -15.0, 15.0, 15.0)
+ROLE = st.sampled_from(ROLES)
+
+
+@st.composite
+def time_exprs(draw):
+    kind = draw(st.sampled_from(("of", "const")))
+    if kind == "of":
+        return TimeOf(draw(ROLE), offset=draw(st.integers(-5, 5)))
+    return TimeConst(TimePoint(draw(st.integers(0, 40))))
+
+
+@st.composite
+def leaves(draw):
+    kind = draw(
+        st.sampled_from(
+            ("attr", "temporal", "tmeasure", "spatial", "smeasure", "confidence")
+        )
+    )
+    if kind == "attr":
+        terms = tuple(
+            AttributeTerm(draw(ROLE), draw(st.sampled_from(("temp", "hum"))))
+            for _ in range(draw(st.integers(1, 2)))
+        )
+        return AttributeCondition(
+            draw(st.sampled_from(("average", "max", "last"))),
+            terms,
+            draw(REL_OPS),
+            draw(st.floats(0, 100, allow_nan=False)),
+        )
+    if kind == "temporal":
+        return TemporalCondition(
+            draw(time_exprs()), draw(TIME_OPS), draw(time_exprs())
+        )
+    if kind == "tmeasure":
+        return TemporalMeasureCondition(
+            draw(st.sampled_from(("spread", "duration", "count"))),
+            (draw(ROLE),),
+            draw(REL_OPS),
+            draw(st.floats(0, 40, allow_nan=False)),
+        )
+    if kind == "spatial":
+        return SpatialCondition(
+            LocationOf(draw(ROLE)), draw(SPACE_OPS), LocationConst(REGION)
+        )
+    if kind == "smeasure":
+        if draw(st.booleans()):
+            return SpatialMeasureCondition(
+                "distance", ("x", "y"), draw(REL_OPS),
+                draw(st.floats(0, 60, allow_nan=False)),
+            )
+        return SpatialMeasureCondition(
+            "distance", (draw(ROLE),), draw(REL_OPS),
+            draw(st.floats(0, 60, allow_nan=False)),
+            constant_location=PointLocation(0.0, 0.0),
+        )
+    return ConfidenceCondition(
+        draw(ROLE), draw(REL_OPS), draw(st.floats(0, 1, allow_nan=False))
+    )
+
+
+def trees():
+    return st.recursive(
+        leaves().map(as_node),
+        lambda children: st.one_of(
+            st.lists(children, min_size=1, max_size=3).map(
+                lambda cs: And(tuple(cs))
+            ),
+            st.lists(children, min_size=1, max_size=3).map(
+                lambda cs: Or(tuple(cs))
+            ),
+            children.map(Not),
+        ),
+        max_leaves=6,
+    )
+
+
+def outcome(thunk):
+    try:
+        return ("ok", thunk())
+    except EVALUATION_ERRORS as exc:
+        return ("err", type(exc))
+
+
+# ----------------------------------------------------------------------
+# differential suite
+# ----------------------------------------------------------------------
+
+class TestDifferential:
+    @settings(max_examples=400, deadline=None)
+    @given(tree=trees(), binding=bindings())
+    def test_compiled_agrees_with_interpreted(self, tree, binding):
+        compiled = compile_condition(tree)
+        interpreted = outcome(lambda: tree.evaluate(binding))
+        plain = outcome(lambda: compiled.fn(binding, None))
+        cache = PredicateCache()
+        cached = outcome(lambda: compiled.fn(binding, cache))
+
+        # Caching never changes the outcome.
+        assert plain == cached
+
+        kind_i, value_i = interpreted
+        kind_c, value_c = plain
+        # Match sets can never diverge.
+        assert (kind_c == "ok" and value_c is True) == (
+            kind_i == "ok" and value_i is True
+        )
+        if kind_i == "ok":
+            # The interpreter judged the binding: exact agreement.
+            assert plain == interpreted
+        elif kind_c == "err":
+            # Both raised: identical error classification.
+            assert value_c is value_i
+        else:
+            # The one permitted divergence: a conjunction short-circuit
+            # returned False where the interpreter raised.
+            assert value_c is False
+
+    @settings(max_examples=150, deadline=None)
+    @given(tree=trees(), binding=bindings())
+    def test_cache_reuse_across_bindings_is_pure(self, tree, binding):
+        # One shared cache across repeated evaluations of the same
+        # binding must be idempotent (pure memoization).
+        compiled = compile_condition(tree)
+        cache = PredicateCache()
+        first = outcome(lambda: compiled.fn(binding, cache))
+        second = outcome(lambda: compiled.fn(binding, cache))
+        assert first == second
+
+
+# ----------------------------------------------------------------------
+# compilation structure
+# ----------------------------------------------------------------------
+
+class TestCompilationStructure:
+    def test_conjunction_ordered_cheapest_first(self):
+        expensive = SpatialCondition(
+            LocationOf("x"), SpatialOp.INSIDE, LocationConst(REGION)
+        )
+        cheap = ConfidenceCondition("x", RelationalOp.GE, 0.5)
+        middle = AttributeCondition(
+            "last", (AttributeTerm("x", "temp"),), RelationalOp.GT, 1.0
+        )
+        compiled = compile_condition(And((Leaf(expensive), Leaf(cheap), Leaf(middle))))
+        assert compiled.conjunction_order == (
+            cheap.describe(),
+            middle.describe(),
+            expensive.describe(),
+        )
+
+    def test_nested_conjunctions_flatten(self):
+        cheap = ConfidenceCondition("x", RelationalOp.GE, 0.5)
+        expensive = SpatialCondition(
+            LocationOf("x"), SpatialOp.INSIDE, LocationConst(REGION)
+        )
+        tree = And((And((Leaf(expensive), Leaf(expensive))), Leaf(cheap)))
+        compiled = compile_condition(tree)
+        assert compiled.conjunction_order[0] == cheap.describe()
+        assert len(compiled.conjunction_order) == 3
+
+    def test_cache_counts_hits_and_misses(self):
+        condition = SpatialMeasureCondition(
+            "distance", ("x", "y"), RelationalOp.LT, 100.0
+        )
+        compiled = compile_condition(Leaf(condition))
+        a = PhysicalObservation("m0", "s", 0, TimePoint(0), PointLocation(0, 0))
+        b = PhysicalObservation("m1", "s", 0, TimePoint(0), PointLocation(3, 4))
+        cache = PredicateCache()
+        assert compiled.fn({"x": a, "y": b}, cache) is True
+        assert (cache.hits, cache.misses) == (0, 1)
+        # Same pair in either role order hits the symmetric memo.
+        assert compiled.fn({"x": b, "y": a}, cache) is True
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+        cache.reset()
+        assert compiled.fn({"x": a, "y": b}, cache) is True
+        assert cache.misses == 2  # reset cleared the store, not counters
+
+
+# ----------------------------------------------------------------------
+# engine-level cache correctness
+# ----------------------------------------------------------------------
+
+def _near_spec(window: int = 0) -> EventSpecification:
+    return EventSpecification(
+        event_id="near_pair",
+        selectors={
+            "x": EntitySelector(kinds={"temp"}),
+            "y": EntitySelector(kinds={"temp"}),
+        },
+        condition=SpatialMeasureCondition(
+            "distance", ("x", "y"), RelationalOp.LT, 5.0
+        ),
+        window=window,
+    )
+
+
+def _obs(mote: str, seq: int, tick: int, x: float, y: float = 0.0):
+    return PhysicalObservation(
+        mote_id=mote,
+        sensor_id="s",
+        seq=seq,
+        time=TimePoint(tick),
+        location=PointLocation(x, y),
+        attributes={"temp": 20.0},
+    )
+
+
+class TestEngineCacheCorrectness:
+    def test_stale_entries_never_cross_batches(self):
+        """Same provenance keys, new locations: batch 2 must re-measure.
+
+        Batch 1 binds a far-apart pair (distance 100, no match, memo
+        populated); batch 2 re-submits entities with the *same
+        provenance keys* but close together.  A cache leaking across
+        batches would serve the stale distance and miss the match.
+        """
+        engine = DetectionEngine([_near_spec(window=0)])
+        far = [_obs("a", 0, 0, 0.0), _obs("b", 0, 0, 100.0)]
+        assert engine.submit_batch(far, now=0) == []
+        close = [_obs("a", 0, 1, 0.0), _obs("b", 0, 1, 3.0)]
+        matches = engine.submit_batch(close, now=1)
+        # The symmetric condition matches both role orderings.
+        assert len(matches) == 2
+
+    def test_reverse_direction_no_phantom_match(self):
+        # Close pair matches in batch 1; the same keys far apart in
+        # batch 2 must NOT match again off a stale "close" memo entry.
+        engine = DetectionEngine([_near_spec(window=0)])
+        close = [_obs("a", 0, 0, 0.0), _obs("b", 0, 0, 3.0)]
+        assert len(engine.submit_batch(close, now=0)) == 2
+        far = [_obs("a", 0, 5, 0.0), _obs("b", 0, 5, 100.0)]
+        assert engine.submit_batch(far, now=5) == []
+
+    def test_cache_stats_flow_into_engine_stats(self):
+        engine = DetectionEngine([_near_spec(window=10)])
+        batch = [_obs("a", 0, 0, 0.0), _obs("b", 0, 0, 3.0), _obs("c", 0, 0, 4.0)]
+        matches = engine.submit_batch(batch, now=0)
+        assert matches  # close cluster pairs up
+        stats = engine.stats
+        assert stats.cache_hits > 0
+        assert stats.cache_misses >= 0
+        assert 0.0 < stats.cache_hit_rate <= 1.0
+
+    def test_interpreted_baseline_never_touches_cache(self):
+        engine = DetectionEngine([_near_spec(window=10)], use_planner=False)
+        batch = [_obs("a", 0, 0, 0.0), _obs("b", 0, 0, 3.0)]
+        assert len(engine.submit_batch(batch, now=0)) == 2
+        assert engine.stats.cache_hits == 0
+        assert engine.stats.cache_misses == 0
+
+    def test_compiled_error_policy_matches_interpreted(self):
+        # A binding the condition cannot judge is a counted non-match
+        # on both paths (the engine-level error contract).
+        spec = EventSpecification(
+            event_id="broken",
+            selectors={"x": EntitySelector()},
+            condition=AttributeCondition(
+                "last", (AttributeTerm("x", "absent"),), RelationalOp.GT, 0
+            ),
+        )
+        for use_planner in (True, False):
+            engine = DetectionEngine([spec], use_planner=use_planner)
+            assert engine.submit(_obs("a", 0, 0, 0.0), now=0) == []
+            assert engine.stats.evaluation_errors == 1
+
+    def test_compiled_accessor(self):
+        engine = DetectionEngine([_near_spec()])
+        assert engine.compiled("near_pair").cost == pytest.approx(5.0)
+        with pytest.raises(Exception):
+            engine.compiled("unknown")

@@ -407,3 +407,49 @@ class TestBuildInstance:
             EventLayer.SENSOR,
         )
         assert instance.attribute("temp") == 77.0
+
+
+class TestMatchEntityOrder:
+    """Match.entities() iterates spec.roles, not re-sorted binding keys."""
+
+    def test_entities_follow_spec_role_order(self):
+        spec = pair_spec(window=10)
+        engine = DetectionEngine([spec])
+        first = obs(mote="MTa", seq=0, tick=0, x=0.0)
+        second = obs(mote="MTb", seq=1, tick=1, x=1.0)
+        engine.submit(first, now=0)
+        matches = engine.submit(second, now=1)
+        assert matches
+        for match in matches:
+            roles = list(match.spec.roles)
+            expected = []
+            for role in roles:
+                bound = match.binding[role]
+                expected.extend(bound if isinstance(bound, tuple) else [bound])
+            assert match.entities() == expected
+            # Regression: identical to the old sorted-binding iteration.
+            legacy = []
+            for role in sorted(match.binding):
+                bound = match.binding[role]
+                legacy.extend(bound if isinstance(bound, tuple) else [bound])
+            assert match.entities() == legacy
+
+    def test_instance_sources_order_unchanged(self):
+        # Binding insertion order must not leak into instance sources:
+        # construct a match whose binding dict was built in reverse
+        # role order and check provenance ordering stays canonical.
+        from repro.detect.engine import Match
+
+        spec = pair_spec(window=10)
+        a = obs(mote="MTa", seq=0, tick=0)
+        b = obs(mote="MTb", seq=1, tick=1)
+        reversed_binding = {"b": b, "a": a}  # insertion order b, a
+        match = Match(spec, reversed_binding, tick=1)
+        assert match.entities() == [a, b]  # spec.roles order: a, b
+        instance = build_instance(
+            match, MOTE, seq=0,
+            generated_time=TimePoint(2),
+            generated_location=PointLocation(0.0, 0.0),
+            layer=EventLayer.SENSOR,
+        )
+        assert instance.sources == (a.key, b.key)

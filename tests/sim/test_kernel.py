@@ -187,3 +187,76 @@ class TestDeterminism:
 
         assert run(7) == run(7)
         assert run(7) != run(8)
+
+
+class TestPendingCounter:
+    """`pending` is a live O(1) counter; verify it against a queue sweep."""
+
+    @staticmethod
+    def _recount(sim):
+        return sum(1 for entry in sim._queue if not entry.cancelled)
+
+    def test_counter_tracks_schedule_cancel_and_run(self):
+        sim = Simulator()
+        handles = [sim.schedule(i + 1, lambda: None) for i in range(5)]
+        assert sim.pending == 5 == self._recount(sim)
+        handles[0].cancel()
+        handles[3].cancel()
+        assert sim.pending == 3 == self._recount(sim)
+        handles[3].cancel()  # idempotent: no double decrement
+        assert sim.pending == 3 == self._recount(sim)
+        sim.run()
+        assert sim.pending == 0 == self._recount(sim)
+
+    def test_cancel_after_run_does_not_underflow(self):
+        sim = Simulator()
+        handle = sim.schedule(1, lambda: None)
+        sim.schedule(2, lambda: None)
+        sim.run(until=1)  # the first callback has run
+        assert sim.pending == 1
+        handle.cancel()  # its entry already popped: counter untouched
+        assert sim.pending == 1 == self._recount(sim)
+
+    def test_periodic_process_keeps_single_pending_entry(self):
+        sim = Simulator()
+        ticks = []
+        handle = sim.every(3, lambda: ticks.append(sim.tick))
+        assert sim.pending == 1
+        sim.run(until=10)
+        assert ticks == [3, 6, 9]
+        assert sim.pending == 1  # the next firing is queued
+        handle.cancel()
+        assert sim.pending == 0 == self._recount(sim)
+        sim.run()
+        assert ticks == [3, 6, 9]
+
+    def test_periodic_stopping_via_false_drains_counter(self):
+        sim = Simulator()
+        fired = []
+        sim.every(2, lambda: (fired.append(sim.tick), False)[-1])
+        assert sim.pending == 1
+        sim.run()
+        assert fired == [2]
+        assert sim.pending == 0 == self._recount(sim)
+
+    def test_cancelled_entries_pop_without_double_count(self):
+        sim = Simulator()
+        keep = []
+        cancel_me = sim.schedule(1, lambda: keep.append("cancelled ran"))
+        sim.schedule(1, lambda: keep.append("ran"))
+        cancel_me.cancel()
+        assert sim.pending == 1
+        sim.run()
+        assert keep == ["ran"]
+        assert sim.pending == 0
+
+
+class TestQueueEntryOrdering:
+    def test_tuple_key_orders_by_tick_priority_seq(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(4, lambda: order.append("late"))
+        sim.schedule(4, lambda: order.append("first-priority"), priority=PRIORITY_NETWORK)
+        sim.schedule(2, lambda: order.append("early"))
+        sim.run()
+        assert order == ["early", "first-priority", "late"]
