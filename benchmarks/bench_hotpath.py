@@ -1,17 +1,21 @@
-"""E12 — engine hot path: compiled evaluation vs interpreted baseline.
+"""E12/E13 — engine hot path and shard scaling vs the single engine.
 
 Two faces:
 
 * **pytest rows** (``pytest benchmarks/bench_hotpath.py``): per-scenario
   compiled-vs-interpreted rows with deterministic assertions (equal
   instance emission, fewer-or-equal bindings, nonzero predicate-cache
-  hit rate) plus the selector-routing micro-benchmark row;
+  hit rate), the selector-routing micro-benchmark row, and the E13
+  sharded-vs-single rows (equal emission, exact match counts);
 * **CLI** (``python benchmarks/bench_hotpath.py [--quick] [--out F]``):
   writes the JSON perf report.  Full runs produce the tracked
-  ``BENCH_PR3.json`` over every registered scenario's *medium* preset;
-  ``--quick`` is the CI smoke mode — two small scenarios, and a hard
-  failure if the compiled path is slower than the interpreted one or
-  the memo cache never hits.
+  ``BENCH_PR4.json``: the E12 compiled-vs-interpreted matrix over every
+  registered scenario's *medium* preset plus the E13 shard-scaling
+  sweep (1/2/4/8 shards on ``high_density`` and ``sharded_metro``
+  medium).  ``--quick`` is the CI smoke mode — two small scenarios and
+  a sharded(4) leg, with hard failures if the compiled path is slower
+  than the interpreted one, the memo cache never hits, or the sharded
+  backend is slower than the single-engine (naive) detection path.
 """
 
 import argparse
@@ -21,6 +25,10 @@ import report as report_harness
 
 QUICK_SCENARIOS = ("high_density", "convoy_pursuit")
 """Pruning/cache-heavy families: the smoke pair the CI gate runs."""
+
+SHARD_GATE_SCENARIO = "high_density"
+"""Scenario of the CI sharding gate: sharded(4) must not be slower
+than the single-engine baseline's detection path on its medium preset."""
 
 
 # ----------------------------------------------------------------------
@@ -71,6 +79,38 @@ class TestE12HotpathCompiledVsInterpreted:
         assert result["speedup"] > 0
 
 
+class TestE13ShardScaling:
+    def test_shard_scaling_rows(self, benchmark, report, quick):
+        preset = "small" if quick else "medium"
+        repeats = 1 if quick else 2
+        shard_counts = (1, 4) if quick else (1, 2, 4, 8)
+
+        def run():
+            return report_harness.shard_scaling_report(
+                preset=preset, shard_counts=shard_counts, repeats=repeats
+            )
+
+        payload = benchmark.pedantic(run, rounds=1, iterations=1)
+        for name, row in payload["scenarios"].items():
+            planned = row["single_planned"]
+            naive = row["single_naive"]
+            for count, entry in row["sharded"].items():
+                result = entry["result"]
+                report(
+                    f"[E13] {name:<16} shards={count:<2} preset={preset:<6} "
+                    f"detect {result['detect_s']:.3f}s "
+                    f"(vs naive {naive['detect_s']:.3f}s = "
+                    f"{entry['speedup_detect_vs_naive']:.2f}x, "
+                    f"vs planned {planned['detect_s']:.3f}s = "
+                    f"{entry['speedup_detect_vs_planned']:.2f}x) "
+                    f"matches={result['matches']}"
+                )
+                # Exactness invariants; the scaling numbers are
+                # reported, the CLI smoke gate enforces them.
+                assert result["instances_emitted"] == planned["instances_emitted"]
+                assert result["matches"] == planned["matches"]
+
+
 # ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
@@ -81,13 +121,28 @@ def main(argv: list[str] | None = None) -> int:
         "--quick",
         action="store_true",
         help="CI smoke mode: the two benchmark-scale smoke scenarios "
-        "(medium preset, where window pressure exists) with a hard "
-        "compiled>=interpreted gate on the detection path",
+        "(medium preset, where window pressure exists) with hard gates "
+        "on the detection path — compiled >= interpreted, and "
+        "sharded(4) >= single-engine on the shard-gate scenario",
     )
     parser.add_argument(
         "--out",
-        default="BENCH_PR3.json",
-        help="output JSON path (default: BENCH_PR3.json)",
+        default="BENCH_PR4.json",
+        help="output JSON path (default: BENCH_PR4.json)",
+    )
+    parser.add_argument(
+        "--skip-sharding",
+        action="store_true",
+        help="omit the E13 shard-scaling section (and its gate)",
+    )
+    parser.add_argument(
+        "--shard-repeats",
+        type=int,
+        default=None,
+        help="interleaved timing rounds for the shard-scaling section "
+        "(default: max(repeats, 5) on full runs — ratio stability on "
+        "machines with bursty background load needs more rounds than "
+        "the sequential E12 matrix)",
     )
     parser.add_argument(
         "--preset",
@@ -124,9 +179,43 @@ def main(argv: list[str] | None = None) -> int:
             iterations=5_000 if args.quick else 50_000
         )
     }
-    path = report_harness.write_report(args.out, payload)
-
     failures: list[str] = []
+    if not args.skip_sharding:
+        shard_repeats = args.shard_repeats or (
+            repeats if args.quick else max(repeats, 5)
+        )
+        sharding = report_harness.shard_scaling_report(
+            names=(SHARD_GATE_SCENARIO,)
+            if args.quick
+            else report_harness.SHARD_SCALING_SCENARIOS,
+            preset=preset,
+            shard_counts=(1, 4) if args.quick else report_harness.SHARD_COUNTS,
+            repeats=shard_repeats,
+        )
+        payload["sharding"] = sharding
+        for name, row in sharding["scenarios"].items():
+            naive = row["single_naive"]
+            for count, entry in sorted(
+                row["sharded"].items(), key=lambda kv: int(kv[0])
+            ):
+                result = entry["result"]
+                print(
+                    f"{name:<22} {preset:<7} shards={count:<2} "
+                    f"detect={result['detect_s']:.3f}s "
+                    f"vs naive={entry['speedup_detect_vs_naive']:>5.2f}x "
+                    f"vs planned={entry['speedup_detect_vs_planned']:>5.2f}x  "
+                    f"matches={result['matches']}"
+                )
+            if args.quick and name == SHARD_GATE_SCENARIO:
+                gate = row["sharded"].get("4")
+                if gate and gate["result"]["detect_s"] > naive["detect_s"]:
+                    failures.append(
+                        f"{name}: sharded(4) detection path "
+                        f"({gate['result']['detect_s']:.3f}s) slower than "
+                        f"the single-engine baseline "
+                        f"({naive['detect_s']:.3f}s)"
+                    )
+    path = report_harness.write_report(args.out, payload)
     for name, row in payload["scenarios"].items():
         compiled = row["compiled"]
         print(

@@ -23,6 +23,7 @@ without installing the test stack.
 
 from __future__ import annotations
 
+import gc
 import json
 import platform
 import sys
@@ -37,15 +38,25 @@ if str(_SRC) not in sys.path:  # allow `python benchmarks/...` without env
     except ImportError:
         sys.path.insert(0, str(_SRC))
 
+from repro.detect.engine import EngineStats  # noqa: E402
 from repro.workloads import build_scenario, scenario_names  # noqa: E402
 
 __all__ = [
     "ModeResult",
     "measure_mode",
     "hotpath_report",
+    "shard_scaling_report",
     "routing_microbench",
     "write_report",
 ]
+
+SHARD_SCALING_SCENARIOS = ("high_density", "sharded_metro")
+"""Families the shard-scaling rows run: the hash-grid stress workload
+and the wide-area boundary-crossing workload sharding was built for."""
+
+SHARD_COUNTS = (1, 2, 4, 8)
+"""Shard counts of the scaling sweep (1 = ShardedDetectionEngine with a
+single shard, isolating the routing/merge overhead)."""
 
 
 @dataclass(frozen=True)
@@ -77,9 +88,24 @@ def _observers(system) -> list:
     ]
 
 
-def _run_once(name: str, preset: str, use_planner: bool, seed: int | None):
+def _run_once(
+    name: str,
+    preset: str,
+    use_planner: bool,
+    seed: int | None,
+    shards: int = 1,
+    partition: str = "grid",
+):
+    # Collect before the timer starts: garbage from the previous run
+    # must not be paid for inside this one's measurement window.
+    gc.collect()
     scenario = build_scenario(
-        name, preset=preset, seed=seed, use_planner=use_planner
+        name,
+        preset=preset,
+        seed=seed,
+        use_planner=use_planner,
+        shards=shards,
+        partition=partition,
     )
     start = time.perf_counter()
     scenario.system.run(until=scenario.params["horizon"])
@@ -92,37 +118,48 @@ def measure_mode(
     use_planner: bool,
     repeats: int = 3,
     seed: int | None = None,
+    shards: int = 1,
+    partition: str = "grid",
 ) -> ModeResult:
     """Best-of-``repeats`` measurement of one scenario in one mode.
 
     Wall time takes the fastest repeat (the usual noise-robust choice
     for deterministic workloads); the counters are identical across
     repeats by construction (deterministic seeds), so they come from
-    the fastest run too.
+    the fastest run too.  ``shards > 1`` runs every sink/CCU on the
+    sharded backend (:mod:`repro.shard`).
     """
-    best_wall: float | None = None
-    best_scenario = None
+    best: tuple[float, ModeResult] | None = None
     for _ in range(max(1, repeats)):
-        wall, scenario = _run_once(name, preset, use_planner, seed)
-        if best_wall is None or wall < best_wall:
-            best_wall, best_scenario = wall, scenario
-    observers = _observers(best_scenario.system)
-    bindings = sum(o.engine.stats.bindings_evaluated for o in observers)
-    detect = sum(o.engine.stats.evaluation_time_s for o in observers)
-    matches = sum(o.engine.stats.matches for o in observers)
-    hits = sum(o.engine.stats.cache_hits for o in observers)
-    misses = sum(o.engine.stats.cache_misses for o in observers)
-    lookups = hits + misses
+        wall, scenario = _run_once(
+            name, preset, use_planner, seed, shards, partition
+        )
+        # Reduce to the small result record immediately: holding whole
+        # scenario objects across repeats inflates the live heap (and
+        # therefore every later run's GC pauses) by millions of objects.
+        result = _mode_result(wall, scenario)
+        del scenario
+        if best is None or wall < best[0]:
+            best = (wall, result)
+    return best[1]
+
+
+def _mode_result(wall: float, scenario) -> ModeResult:
+    observers = _observers(scenario.system)
+    stats = EngineStats.merge(o.engine.stats for o in observers)
+    detect = stats.evaluation_time_s
     return ModeResult(
-        wall_s=round(best_wall, 6),
+        wall_s=round(wall, 6),
         detect_s=round(detect, 6),
-        bindings_evaluated=bindings,
-        bindings_per_s=round(bindings / detect, 1) if detect else 0.0,
-        matches=matches,
-        instances_emitted=best_scenario.system.trace.count("instance.emit"),
-        cache_hits=hits,
-        cache_misses=misses,
-        cache_hit_rate=round(hits / lookups, 4) if lookups else 0.0,
+        bindings_evaluated=stats.bindings_evaluated,
+        bindings_per_s=round(stats.bindings_evaluated / detect, 1)
+        if detect
+        else 0.0,
+        matches=stats.matches,
+        instances_emitted=scenario.system.trace.count("instance.emit"),
+        cache_hits=stats.cache_hits,
+        cache_misses=stats.cache_misses,
+        cache_hit_rate=round(stats.cache_hit_rate, 4),
     )
 
 
@@ -165,6 +202,93 @@ def hotpath_report(
     return {
         "preset": preset,
         "repeats": repeats,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scenarios": rows,
+    }
+
+
+def shard_scaling_report(
+    names: tuple[str, ...] = SHARD_SCALING_SCENARIOS,
+    preset: str = "medium",
+    shard_counts: tuple[int, ...] = SHARD_COUNTS,
+    repeats: int = 3,
+) -> dict:
+    """Shard-count sweep against both single-engine baselines.
+
+    Per scenario: one row per shard count (every sink/CCU on the
+    sharded backend, grid partition) plus two single-engine reference
+    rows — ``single_planned`` (the compiled/planned engine of PR 1-3)
+    and ``single_naive`` (the exhaustive interpreted baseline the
+    conformance goldens pin).  ``speedup_detect_vs_naive`` /
+    ``speedup_detect_vs_planned`` compare each sharded row's detection
+    path against those references; ``instances_emitted`` is asserted
+    identical across every row of a scenario, so a correctness
+    regression cannot hide behind a fast number.
+
+    Modes are measured in **interleaved rounds** (planned, naive, every
+    shard count, then again), taking the best round per mode: on a
+    machine with intermittent background load, sequential best-of-N per
+    mode skews the ratios whenever contention drifts between one mode's
+    block and another's, while round-robin exposes every mode to
+    similar conditions.
+    """
+    rows: dict[str, dict] = {}
+    for name in names:
+        modes: list[tuple[str, dict]] = [
+            ("single_planned", {"use_planner": True}),
+            ("single_naive", {"use_planner": False}),
+        ]
+        modes += [
+            (f"sharded_{count}", {"use_planner": True, "shards": count})
+            for count in shard_counts
+        ]
+        best: dict[str, tuple[float, ModeResult]] = {}
+        for _ in range(max(1, repeats)):
+            for label, kwargs in modes:
+                wall, scenario = _run_once(name, preset, seed=None, **kwargs)
+                # Keep only the small result record (see measure_mode).
+                result = _mode_result(wall, scenario)
+                del scenario
+                if label not in best or wall < best[label][0]:
+                    best[label] = (wall, result)
+        results = {label: entry[1] for label, entry in best.items()}
+        planned = results["single_planned"]
+        naive = results["single_naive"]
+        assert planned.instances_emitted == naive.instances_emitted
+        sharded: dict[str, dict] = {}
+        for count in shard_counts:
+            result = results[f"sharded_{count}"]
+            assert result.instances_emitted == planned.instances_emitted, (
+                f"{name}: sharded({count}) emitted "
+                f"{result.instances_emitted} != {planned.instances_emitted}"
+            )
+            sharded[str(count)] = {
+                "result": asdict(result),
+                "speedup_detect_vs_naive": round(
+                    naive.detect_s / result.detect_s, 2
+                )
+                if result.detect_s
+                else 0.0,
+                "speedup_detect_vs_planned": round(
+                    planned.detect_s / result.detect_s, 2
+                )
+                if result.detect_s
+                else 0.0,
+                "speedup_total_vs_naive": round(naive.wall_s / result.wall_s, 2)
+                if result.wall_s
+                else 0.0,
+            }
+        rows[name] = {
+            "single_planned": asdict(planned),
+            "single_naive": asdict(naive),
+            "sharded": sharded,
+        }
+    return {
+        "preset": preset,
+        "repeats": repeats,
+        "partition": "grid",
+        "shard_counts": list(shard_counts),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "scenarios": rows,

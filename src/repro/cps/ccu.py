@@ -55,6 +55,10 @@ class ControlUnit(ObserverComponent):
             instance/command leaving the CCU.
         use_planner: Engine evaluation mode (see
             :class:`~repro.cps.component.ObserverComponent`).
+        shards: Spatial detection shards (>1 installs the sharded
+            backend; see :class:`~repro.cps.component.ObserverComponent`).
+        partition: Shard layout (``"grid"`` or ``"stripes"``).
+        shard_bounds: World extent for the shard partitioner.
         trace: Optional trace recorder.
     """
 
@@ -69,6 +73,9 @@ class ControlUnit(ObserverComponent):
         dispatch: DispatchCallback | None = None,
         processing_ticks: int = 0,
         use_planner: bool = True,
+        shards: int = 1,
+        partition: str = "grid",
+        shard_bounds=None,
         trace: TraceRecorder | None = None,
     ):
         super().__init__(
@@ -80,6 +87,9 @@ class ControlUnit(ObserverComponent):
             instance_cls=CyberEventInstance,
             specs=specs,
             use_planner=use_planner,
+            shards=shards,
+            partition=partition,
+            shard_bounds=shard_bounds,
             trace=trace,
         )
         self.rules = list(rules)

@@ -31,9 +31,10 @@ from repro.core.entity import Entity
 from repro.core.errors import ComponentError
 from repro.core.event import EventLayer
 from repro.core.instance import EventInstance, ObserverId, ObserverKind
-from repro.core.space_model import PointLocation
+from repro.core.space_model import BoundingBox, PointLocation
 from repro.core.spec import EventSpecification
 from repro.detect.engine import DetectionEngine, Match, build_instance
+from repro.shard.engine import ShardedDetectionEngine
 from repro.sim.kernel import PRIORITY_INGEST, Simulator
 from repro.sim.trace import TraceRecorder
 
@@ -87,6 +88,14 @@ class ObserverComponent(CPSComponent):
         use_planner: Evaluate through compiled plans (default); ``False``
             forces the engine's exhaustive baseline — same match sets —
             which the conformance suite runs whole systems on.
+        shards: Number of spatial detection shards; values above 1
+            install a :class:`~repro.shard.engine.ShardedDetectionEngine`
+            (same match stream, partitioned state) instead of a single
+            :class:`~repro.detect.engine.DetectionEngine`.
+        partition: Shard layout (``"grid"`` or ``"stripes"``); only
+            meaningful with ``shards > 1``.
+        shard_bounds: World extent the shard partitioner tiles;
+            required when ``shards > 1``.
         trace: Optional trace recorder.
     """
 
@@ -100,13 +109,32 @@ class ObserverComponent(CPSComponent):
         instance_cls: type[EventInstance],
         specs: Sequence[EventSpecification] = (),
         use_planner: bool = True,
+        shards: int = 1,
+        partition: str = "grid",
+        shard_bounds: BoundingBox | None = None,
         trace: TraceRecorder | None = None,
     ):
         super().__init__(name, location, sim, trace)
         self.observer_id = ObserverId(kind, name)
         self.layer = layer
         self.instance_cls = instance_cls
-        self.engine = DetectionEngine(specs, use_planner=use_planner)
+        if shards > 1:
+            if shard_bounds is None:
+                raise ComponentError(
+                    f"observer {name!r}: shards={shards} needs shard_bounds "
+                    f"(set PhysicalWorld bounds or build a sensor network)"
+                )
+            self.engine: DetectionEngine | ShardedDetectionEngine = (
+                ShardedDetectionEngine(
+                    specs,
+                    bounds=shard_bounds,
+                    shards=shards,
+                    partition=partition,
+                    use_planner=use_planner,
+                )
+            )
+        else:
+            self.engine = DetectionEngine(specs, use_planner=use_planner)
         self._seq: dict[str, int] = {}
         self._inbox: list[Entity] = []
         self._flush_scheduled = False

@@ -61,6 +61,10 @@ class SinkNode(ObserverComponent):
             refinement (``None`` disables).
         use_planner: Engine evaluation mode (see
             :class:`~repro.cps.component.ObserverComponent`).
+        shards: Spatial detection shards (>1 installs the sharded
+            backend; see :class:`~repro.cps.component.ObserverComponent`).
+        partition: Shard layout (``"grid"`` or ``"stripes"``).
+        shard_bounds: World extent for the shard partitioner.
         trace: Optional trace recorder.
     """
 
@@ -74,6 +78,9 @@ class SinkNode(ObserverComponent):
         publish: PublishCallback | None = None,
         trilaterate_attribute: str | None = None,
         use_planner: bool = True,
+        shards: int = 1,
+        partition: str = "grid",
+        shard_bounds=None,
         trace: TraceRecorder | None = None,
     ):
         super().__init__(
@@ -85,6 +92,9 @@ class SinkNode(ObserverComponent):
             instance_cls=CyberPhysicalEventInstance,
             specs=specs,
             use_planner=use_planner,
+            shards=shards,
+            partition=partition,
+            shard_bounds=shard_bounds,
             trace=trace,
         )
         self.publish = publish

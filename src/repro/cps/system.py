@@ -62,6 +62,16 @@ class CPSSystem:
             the exhaustive baseline engine (identical behavior, more
             bindings evaluated), which the conformance harness compares
             against the plan-driven default.
+        shards: Spatial detection shards installed at every sink and
+            CCU this system builds (``1`` = the classic single engine;
+            ``>1`` = the :mod:`repro.shard` backend — identical match
+            streams, partitioned state).  Motes stay single-engine:
+            a mote is itself a spatial shard of the deployment.
+        partition: Shard layout, ``"grid"`` or ``"stripes"``.
+        shard_bounds: Explicit world extent for the shard partitioner;
+            defaults to :attr:`PhysicalWorld.bounds
+            <repro.physical.world.PhysicalWorld.bounds>` when set, else
+            the sensor topology's extent.
     """
 
     def __init__(
@@ -71,10 +81,18 @@ class CPSSystem:
         backbone_latency: int = 1,
         world_step_period: int = 1,
         use_planner: bool = True,
+        shards: int = 1,
+        partition: str = "grid",
+        shard_bounds=None,
     ):
         if world_step_period < 1:
             raise ComponentError("world step period must be >= 1")
+        if shards < 1:
+            raise ComponentError(f"shards must be >= 1, got {shards}")
         self.use_planner = use_planner
+        self.shards = shards
+        self.partition = partition
+        self.shard_bounds = shard_bounds
         self.sim = Simulator(seed)
         self.trace = TraceRecorder()
         self.world = PhysicalWorld()
@@ -145,6 +163,53 @@ class CPSSystem:
         )
         return self.actor_network
 
+    # -- sharding ------------------------------------------------------
+
+    def detection_bounds(self):
+        """World extent the sharded backend partitions.
+
+        Preference order: the explicit ``shard_bounds`` constructor
+        argument, the physical world's declared bounds, then the sensor
+        topology's spatial extent.  Bounds only shape load balance —
+        locations outside them clamp to edge shards — so the topology
+        fallback is always correct.
+        """
+        from repro.core.space_model import BoundingBox
+
+        if self.shard_bounds is not None:
+            return self.shard_bounds
+        if self.world.bounds is not None:
+            return self.world.bounds
+        if self.sensor_network is not None:
+            positions = [
+                self.sensor_network.topology.position(name)
+                for name in self.sensor_network.topology.names
+            ]
+            if positions:
+                return BoundingBox(
+                    min(p.x for p in positions),
+                    min(p.y for p in positions),
+                    max(p.x for p in positions),
+                    max(p.y for p in positions),
+                )
+        raise ComponentError(
+            "sharded detection needs bounds: pass shard_bounds, call "
+            "world.set_bounds(), or build_sensor_network() first"
+        )
+
+    def _shard_kwargs(self, shards: int | None, partition: str | None) -> dict:
+        """Observer constructor kwargs for the selected shard config."""
+        effective = self.shards if shards is None else shards
+        if effective < 1:
+            raise ComponentError(f"shards must be >= 1, got {effective}")
+        if effective == 1:
+            return {}
+        return {
+            "shards": effective,
+            "partition": self.partition if partition is None else partition,
+            "shard_bounds": self.detection_bounds(),
+        }
+
     # -- components ----------------------------------------------------
 
     def add_mote(
@@ -184,8 +249,14 @@ class CPSSystem:
         name: str,
         specs: Sequence[EventSpecification] = (),
         trilaterate_attribute: str | None = None,
+        shards: int | None = None,
+        partition: str | None = None,
     ) -> SinkNode:
-        """Create a sink node; it publishes to the event bus."""
+        """Create a sink node; it publishes to the event bus.
+
+        ``shards`` / ``partition`` override the system-level sharding
+        knobs for this sink only (``None`` inherits them).
+        """
         if self.sensor_network is None:
             raise ComponentError("build_sensor_network() first")
         if name in self.sinks:
@@ -201,6 +272,7 @@ class CPSSystem:
             trilaterate_attribute=trilaterate_attribute,
             use_planner=self.use_planner,
             trace=self.trace,
+            **self._shard_kwargs(shards, partition),
         )
         self.sinks[name] = sink
         return sink
@@ -213,8 +285,14 @@ class CPSSystem:
         rules: Sequence[ActionRule] = (),
         processing_ticks: int = 1,
         subscribe_event_ids: Sequence[str] | None = None,
+        shards: int | None = None,
+        partition: str | None = None,
     ) -> ControlUnit:
-        """Create a CCU subscribed to CP and cyber events on the bus."""
+        """Create a CCU subscribed to CP and cyber events on the bus.
+
+        ``shards`` / ``partition`` override the system-level sharding
+        knobs for this CCU only (``None`` inherits them).
+        """
         if name in self.ccus:
             raise ComponentError(f"CCU {name!r} already exists")
         ccu = ControlUnit(
@@ -228,6 +306,7 @@ class CPSSystem:
             processing_ticks=processing_ticks,
             use_planner=self.use_planner,
             trace=self.trace,
+            **self._shard_kwargs(shards, partition),
         )
         self.bus.subscribe(
             name,

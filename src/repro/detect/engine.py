@@ -134,6 +134,30 @@ class EngineStats:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    @classmethod
+    def merge(cls, parts: Iterable["EngineStats"]) -> "EngineStats":
+        """Sum every counter across a collection of engine stats.
+
+        The canonical roll-up for multi-engine aggregation — per-shard
+        stats inside :class:`~repro.shard.engine.ShardedDetectionEngine`
+        and per-observer stats in the benchmark harness — so
+        ``cache_hits``/``evaluation_time_s`` totals never need ad-hoc
+        dict math.  Derived values (:attr:`cache_hit_rate`) recompute
+        from the summed counters.
+        """
+        total = cls()
+        for part in parts:
+            total.entities_submitted += part.entities_submitted
+            total.batches_submitted += part.batches_submitted
+            total.bindings_evaluated += part.bindings_evaluated
+            total.candidates_pruned += part.candidates_pruned
+            total.matches += part.matches
+            total.evaluation_errors += part.evaluation_errors
+            total.cache_hits += part.cache_hits
+            total.cache_misses += part.cache_misses
+            total.evaluation_time_s += part.evaluation_time_s
+        return total
+
 
 class DetectionEngine:
     """Windowed, incremental, plan-driven evaluator for specifications.
@@ -224,7 +248,13 @@ class DetectionEngine:
         """Feed one entity; return every *new* match it completes."""
         return self.submit_batch((entity,), now)
 
-    def submit_batch(self, entities: Iterable[Entity], now: int) -> list[Match]:
+    def submit_batch(
+        self,
+        entities: Iterable[Entity],
+        now: int,
+        *,
+        evaluate: Sequence[bool] | None = None,
+    ) -> list[Match]:
         """Feed a batch of co-arriving entities; return every new match.
 
         All entities share the arrival tick ``now``.  Selector routing,
@@ -234,9 +264,22 @@ class DetectionEngine:
         equivalent series of single :meth:`submit` calls at the same
         tick performs, so match sets, role assignments and cooldown
         behavior are identical to unbatched submission.
+
+        Args:
+            entities: The co-arriving batch.
+            now: Shared arrival tick.
+            evaluate: Optional per-entity flags (aligned with
+                ``entities``).  A ``False`` entry inserts the entity
+                into its role windows and indexes *without* enumerating
+                the bindings it triggers — the sharded backend marks
+                halo mirrors this way, because a mirrored entity's own
+                matches are enumerated by its owner shard while this
+                shard only needs it as binding material for local
+                triggers.  ``None`` evaluates everything.
         """
         started = perf_counter()
         batch = list(entities)
+        flags = None if evaluate is None else list(evaluate)
         self.stats.entities_submitted += len(batch)
         self.stats.batches_submitted += 1
         # The predicate memo is scoped to this batch: entities are
@@ -247,11 +290,13 @@ class DetectionEngine:
         cache.reset()
         matches: list[Match] = []
         for spec in self._specs.values():
-            staged: list[tuple[Entity, tuple[str, ...]]] = []
-            for entity in batch:
+            staged: list[tuple[Entity, tuple[str, ...], bool]] = []
+            for position, entity in enumerate(batch):
                 roles = spec.candidate_roles(entity)
                 if roles:
-                    staged.append((entity, roles))
+                    staged.append(
+                        (entity, roles, True if flags is None else flags[position])
+                    )
             if not staged:
                 continue
             pools = self._pools[spec.event_id]
@@ -261,15 +306,16 @@ class DetectionEngine:
                 # role indexes mirrored).
                 window.evict(now)
             self._prune_seen(self._seen[spec.event_id], now, spec.window)
-            for entity, roles in staged:
+            for entity, roles, run in staged:
                 for role in roles:
                     pools[role].add(entity, now)
                     index = indexes.get(role)
                     if index is not None:
                         index.add(entity)
-                matches.extend(
-                    self._evaluate_spec(spec, entity, roles, now, cache)
-                )
+                if run:
+                    matches.extend(
+                        self._evaluate_spec(spec, entity, roles, now, cache)
+                    )
         self.stats.cache_hits = cache.hits
         self.stats.cache_misses = cache.misses
         self.stats.evaluation_time_s += perf_counter() - started
@@ -460,6 +506,23 @@ class DetectionEngine:
             if seen[key] >= horizon:
                 break
             del seen[key]
+
+    def set_last_match(self, event_id: str, tick: int | None) -> None:
+        """Override one specification's cooldown clock.
+
+        The sharded backend (:mod:`repro.shard`) arbitrates cooldowns
+        centrally: after merging a batch it writes the authoritative
+        last-match tick back into every shard engine so a shard whose
+        local candidate lost a same-tick race neither starts its
+        cooldown late nor suppresses matches the merged stream would
+        accept.  ``None`` clears the clock (no match yet).
+        """
+        if event_id not in self._specs:
+            raise ObserverError(f"no specification {event_id!r}")
+        if tick is None:
+            self._last_match.pop(event_id, None)
+        else:
+            self._last_match[event_id] = tick
 
     def clear(self) -> None:
         """Drop all windows, indexes and dedup state (specs stay)."""

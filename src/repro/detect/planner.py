@@ -34,6 +34,7 @@ never changes the match set, only the number of bindings evaluated
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping, Sequence
 
@@ -49,7 +50,7 @@ from repro.core.conditions import (
 )
 from repro.core.entity import Entity
 from repro.core.operators import RelationalOp, SpatialOp, TemporalOp
-from repro.core.space_model import Field, PointLocation
+from repro.core.space_model import BoundingBox, Field, PointLocation
 from repro.core.spec import EventSpecification
 from repro.detect.index import RoleIndex, tick_bounds
 
@@ -167,6 +168,87 @@ class EvaluationPlan:
             *(f"{c.earlier}+{c.slack} before {c.later}" for c in self.orders),
         ]
         return " & ".join(parts) if parts else "<exhaustive>"
+
+    def spatial_reach(self) -> float | None:
+        """Upper bound on the pairwise distance any match can span.
+
+        The sharded backend (:mod:`repro.shard`) routes an entity to its
+        home shard plus every shard within this *reach* — if any two
+        entities bound by one match are provably within ``reach`` of
+        each other, every match is fully contained in some constituent's
+        home shard, which is what makes shard-local evaluation exact.
+
+        Derivation, over the conjunctively-necessary clauses only:
+
+        * a specification with group roles has no bound (a group binds
+          the whole window regardless of location) — ``None``;
+        * a single-role specification spans nothing — ``0.0``;
+        * when the :class:`DistanceClause` graph connects every single
+          role into one component, any two bound entities are linked by
+          a clause path, so the sum of all clause radii bounds their
+          distance;
+        * otherwise each distance-connected component must carry a
+          static anchor (a :class:`RegionClause` or
+          :class:`NearConstantClause`): the component is then confined
+          to the anchor's bounding box inflated by the component's
+          radius sum, and the diagonal of the union's bounding box
+          bounds every cross-component distance;
+        * any unanchored, unconnected role can match anywhere —
+          ``None`` (the router falls back to broadcast).
+
+        ``None`` therefore means "broadcast required", never "unknown":
+        a finite return is a sound bound for *every* satisfying binding.
+        """
+        spec = self.spec
+        if spec.group_roles:
+            return None
+        singles = list(spec.roles)  # no group roles past the guard above
+        if len(singles) <= 1:
+            return 0.0
+
+        parent = {role: role for role in singles}
+
+        def find(role: str) -> str:
+            while parent[role] != role:
+                parent[role] = parent[parent[role]]
+                role = parent[role]
+            return role
+
+        for clause in self.distances:
+            parent[find(clause.role_a)] = find(clause.role_b)
+
+        component_sum: dict[str, float] = {}
+        for clause in self.distances:
+            root = find(clause.role_a)
+            component_sum[root] = component_sum.get(root, 0.0) + clause.radius
+
+        roots = {find(role) for role in singles}
+        if len(roots) == 1:
+            return component_sum.get(next(iter(roots)), 0.0)
+
+        # Multiple components: each needs a static spatial anchor.
+        anchors: dict[str, BoundingBox] = {}
+        for clause in self.regions:
+            root = find(clause.role)
+            box = clause.region.bounding_box()
+            if root not in anchors or box.area() < anchors[root].area():
+                anchors[root] = box
+        for clause in self.near_constants:
+            root = find(clause.role)
+            p, r = clause.point, clause.radius
+            box = BoundingBox(p.x - r, p.y - r, p.x + r, p.y + r)
+            if root not in anchors or box.area() < anchors[root].area():
+                anchors[root] = box
+        if roots - set(anchors):
+            return None
+        inflated = [
+            anchors[root].expand(component_sum.get(root, 0.0)) for root in roots
+        ]
+        min_x = min(box.min_x for box in inflated)
+        min_y = min(box.min_y for box in inflated)
+        max_x = max(box.max_x for box in inflated)
+        max_y = max(box.max_y for box in inflated)
+        return math.hypot(max_x - min_x, max_y - min_y)
 
     # -- engine queries -------------------------------------------------
 

@@ -16,7 +16,7 @@ from typing import Callable, Mapping
 
 from repro.core.errors import ReproError
 from repro.core.event import PhysicalEvent
-from repro.core.space_model import PointLocation
+from repro.core.space_model import BoundingBox, PointLocation
 from repro.physical.fields import ScalarField
 from repro.physical.objects import PhysicalObject
 
@@ -33,6 +33,25 @@ class PhysicalWorld:
         self._actuation_handlers: dict[str, Callable[[Mapping[str, object], int], None]] = {}
         self._ground_truth: list[PhysicalEvent] = []
         self._tick = 0
+        self._bounds: BoundingBox | None = None
+
+    # -- spatial extent -------------------------------------------------
+
+    def set_bounds(self, bounds: BoundingBox) -> None:
+        """Declare the world's spatial extent.
+
+        Sharded detection (:mod:`repro.shard`) partitions this box;
+        when unset, :class:`~repro.cps.system.CPSSystem` derives an
+        extent from the sensor topology instead.  The declaration only
+        shapes shard load balance — locations outside it clamp to edge
+        shards, never breaking exactness.
+        """
+        self._bounds = bounds
+
+    @property
+    def bounds(self) -> BoundingBox | None:
+        """Declared spatial extent, or ``None`` when never set."""
+        return self._bounds
 
     # -- construction --------------------------------------------------
 

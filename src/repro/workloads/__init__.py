@@ -4,6 +4,7 @@ from repro.workloads.families import (
     build_convoy_pursuit,
     build_high_density,
     build_sensor_failure_storm,
+    build_sharded_metro,
     build_urban_campus,
 )
 from repro.workloads.generators import (
@@ -36,6 +37,7 @@ __all__ = [
     "build_urban_campus",
     "build_sensor_failure_storm",
     "build_high_density",
+    "build_sharded_metro",
     "SIZE_PRESETS",
     "ScenarioSpec",
     "register_scenario",

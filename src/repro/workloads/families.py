@@ -65,6 +65,7 @@ __all__ = [
     "build_urban_campus",
     "build_sensor_failure_storm",
     "build_high_density",
+    "build_sharded_metro",
 ]
 
 
@@ -104,6 +105,8 @@ def build_convoy_pursuit(
     pursuit_window_rounds: int = 8,
     pursuit_cooldown_rounds: int = 4,
     use_planner: bool = True,
+    shards: int = 1,
+    partition: str = "grid",
 ) -> Scenario:
     """A pursuer chases a convoy leader across the sensed corridor.
 
@@ -119,7 +122,9 @@ def build_convoy_pursuit(
     medium registry preset widens the window for benchmark pressure;
     defaults preserve the golden-pinned small behavior).
     """
-    system = CPSSystem(seed=seed, use_planner=use_planner)
+    system = CPSSystem(
+        seed=seed, use_planner=use_planner, shards=shards, partition=partition
+    )
     width = (cols - 1) * spacing
     mid_y = (rows - 1) * spacing / 2.0
     entry = PointLocation(-6.0, mid_y)
@@ -261,6 +266,8 @@ def build_urban_campus(
     patrol_speed: float = 0.9,
     horizon: int = 500,
     use_planner: bool = True,
+    shards: int = 1,
+    partition: str = "grid",
 ) -> Scenario:
     """A patrol vehicle crosses a campus served by two sink nodes.
 
@@ -272,7 +279,9 @@ def build_urban_campus(
     activity instances into a ``campus_sweep`` cyber event: an event
     hierarchy that no single sink can observe alone.
     """
-    system = CPSSystem(seed=seed, use_planner=use_planner)
+    system = CPSSystem(
+        seed=seed, use_planner=use_planner, shards=shards, partition=partition
+    )
     width = (cols - 1) * spacing
     height = (rows - 1) * spacing
     vehicle = PhysicalObject(
@@ -425,6 +434,8 @@ def build_sensor_failure_storm(
     max_retries: int = 2,
     horizon: int = 450,
     use_planner: bool = True,
+    shards: int = 1,
+    partition: str = "grid",
 ) -> Scenario:
     """Detection through a mid-run sensor-failure storm on a lossy WSN.
 
@@ -435,7 +446,9 @@ def build_sensor_failure_storm(
     out, composite detections degrade, and everything must recover after
     the storm without corrupted state.
     """
-    system = CPSSystem(seed=seed, use_planner=use_planner)
+    system = CPSSystem(
+        seed=seed, use_planner=use_planner, shards=shards, partition=partition
+    )
     system.world.add_field("temperature", UniformField(80.0))
     vent_log: list[int] = []
     system.world.on_actuation(
@@ -582,6 +595,8 @@ def build_high_density(
     pair_window_rounds: int = 5,
     pair_cooldown_rounds: int = 1,
     use_planner: bool = True,
+    shards: int = 1,
+    partition: str = "grid",
 ) -> Scenario:
     """Clustered warm bursts on a dense grid stress the role index.
 
@@ -598,7 +613,9 @@ def build_high_density(
     benchmark rows exercise real window pressure instead of the
     cooldown-gated trickle the small conformance preset pins.
     """
-    system = CPSSystem(seed=seed, use_planner=use_planner)
+    system = CPSSystem(
+        seed=seed, use_planner=use_planner, shards=shards, partition=partition
+    )
     width = (cols - 1) * spacing
     height = (rows - 1) * spacing
     third = horizon // 3
@@ -720,4 +737,200 @@ def build_high_density(
             "spacing": spacing,
         },
         handles={"field": field, "shutter_log": shutter_log},
+    )
+
+
+# ----------------------------------------------------------------------
+# sharded metro: wide-area multi-sink corridor, boundary-crossing load
+# ----------------------------------------------------------------------
+
+def build_sharded_metro(
+    seed: int = 0,
+    rows: int = 3,
+    cols: int = 12,
+    spacing: float = 10.0,
+    detect_range: float = 9.0,
+    sampling_period: int = 3,
+    tram_a_speed: float = 1.0,
+    tram_b_speed: float = 0.6,
+    horizon: int = 360,
+    crossing_window_rounds: int = 6,
+    crossing_cooldown_rounds: int = 2,
+    surge_window_rounds: int = 60,
+    surge_cooldown_rounds: int = 30,
+    use_planner: bool = True,
+    shards: int = 1,
+    partition: str = "grid",
+) -> Scenario:
+    """Two counter-rotating trams sweep a wide two-sink metro corridor.
+
+    The workload the sharded backend is built for: a wide area served
+    by two sinks on one fabric, with mobile entities whose sightings —
+    and therefore whose composite ``tram_crossing`` events — repeatedly
+    sweep across any spatial partition of the corridor.  Tram A bounces
+    along the mid row at ``tram_a_speed``, tram B counter-rotates at a
+    different speed, so their meetings (the only moments both are
+    inside one detection window *and* one pairing radius) drift along
+    the corridor instead of pinning to its center.  Each sink fuses
+    ``tram_a_seen``/``tram_b_seen`` mote events into ``tram_crossing``
+    composites; the CCU correlates two *distant* crossings into a
+    ``metro_surge`` cyber event (its ``distance >`` clause is
+    deliberately not halo-boundable, exercising the designated-shard
+    fallback) and reroutes traffic via the actor network.
+
+    ``crossing_*_rounds`` size the sinks' pair window/cooldown in
+    sampling rounds; the medium registry preset widens the window and
+    drops the cooldown for benchmark-scale window pressure.
+    """
+    system = CPSSystem(
+        seed=seed, use_planner=use_planner, shards=shards, partition=partition
+    )
+    width = (cols - 1) * spacing
+    height = (rows - 1) * spacing
+    mid_y = height / 2.0
+    tram_a = PhysicalObject(
+        "tram_a",
+        PatrolTrajectory(
+            [PointLocation(0.0, mid_y), PointLocation(width, mid_y)],
+            speed=tram_a_speed,
+        ),
+    )
+    tram_b = PhysicalObject(
+        "tram_b",
+        PatrolTrajectory(
+            [PointLocation(width, mid_y), PointLocation(0.0, mid_y)],
+            speed=tram_b_speed,
+        ),
+    )
+    system.world.add_object(tram_a)
+    system.world.add_object(tram_b)
+    reroute_log: list[int] = []
+    system.world.on_actuation(
+        "reroute", lambda payload, tick: reroute_log.append(tick)
+    )
+
+    topology = grid_topology(rows, cols, spacing, UnitDiskRadio(spacing * 1.6))
+    west_sink = "MT0_0"
+    east_sink = f"MT{rows - 1}_{cols - 1}"
+    system.build_sensor_network(topology, sink_names=[west_sink, east_sink])
+
+    def seen_spec(event_id: str, target: str) -> EventSpecification:
+        quantity = f"range:{target}"
+        return EventSpecification(
+            event_id=event_id,
+            selectors={"x": EntitySelector(kinds={quantity})},
+            condition=AttributeCondition(
+                "last", (AttributeTerm("x", quantity),),
+                RelationalOp.LT, detect_range,
+            ),
+            window=0,
+            cooldown=sampling_period,
+            output=OutputPolicy(
+                attributes=(
+                    OutputAttribute(
+                        quantity, "last", (AttributeTerm("x", quantity),)
+                    ),
+                )
+            ),
+        )
+
+    tram_a_seen = seen_spec("tram_a_seen", "tram_a")
+    tram_b_seen = seen_spec("tram_b_seen", "tram_b")
+    for name in topology.names:
+        if name in (west_sink, east_sink):
+            continue
+        system.add_mote(
+            name,
+            [
+                RangeSensor(
+                    "SRa", "tram_a",
+                    system.sim.rng.stream(f"{name}.tram_a"),
+                    noise_sigma=0.25, max_range=detect_range * 2.0,
+                ),
+                RangeSensor(
+                    "SRb", "tram_b",
+                    system.sim.rng.stream(f"{name}.tram_b"),
+                    noise_sigma=0.25, max_range=detect_range * 2.0,
+                ),
+            ],
+            sampling_period=sampling_period,
+            specs=[tram_a_seen, tram_b_seen],
+        )
+
+    def crossing_spec() -> EventSpecification:
+        return EventSpecification(
+            event_id="tram_crossing",
+            selectors={
+                "a": EntitySelector(kinds={"tram_a_seen"}),
+                "b": EntitySelector(kinds={"tram_b_seen"}),
+            },
+            condition=all_of(
+                TemporalCondition(TimeOf("a"), TemporalOp.BEFORE, TimeOf("b")),
+                SpatialMeasureCondition(
+                    "distance", ("a", "b"), RelationalOp.LT, 1.2 * spacing
+                ),
+            ),
+            window=crossing_window_rounds * sampling_period,
+            cooldown=crossing_cooldown_rounds * sampling_period,
+            output=OutputPolicy(
+                time="latest", space="centroid", confidence="mean"
+            ),
+            description="the two trams sighted passing each other",
+        )
+
+    # Per-sink spec objects (engines are per-observer, ids must only be
+    # unique within one engine — the urban_campus pattern).
+    system.add_sink(west_sink, specs=[crossing_spec()])
+    system.add_sink(east_sink, specs=[crossing_spec()])
+
+    metro_surge = EventSpecification(
+        event_id="metro_surge",
+        selectors={
+            "w": EntitySelector(kinds={"tram_crossing"}),
+            "e": EntitySelector(kinds={"tram_crossing"}),
+        },
+        condition=all_of(
+            TemporalCondition(TimeOf("w"), TemporalOp.BEFORE, TimeOf("e")),
+            SpatialMeasureCondition(
+                "distance", ("w", "e"), RelationalOp.GT, 3.0 * spacing
+            ),
+        ),
+        window=surge_window_rounds * sampling_period,
+        cooldown=surge_cooldown_rounds * sampling_period,
+        output=OutputPolicy(time="span", space="hull", confidence="min"),
+        description="tram crossings in two distant corridor segments",
+    )
+    system.add_ccu(
+        "CCU1",
+        PointLocation(-15.0, -15.0),
+        specs=[metro_surge],
+        rules=[
+            _alarm_rule(
+                "metro_surge", "reroute", ("AR_switch",),
+                {"line": "metro"}, 40 * sampling_period,
+            )
+        ],
+    )
+    system.add_dispatch("D1", PointLocation(-15.0, 0.0))
+    system.add_actor_mote(
+        "AR_switch",
+        [Actuator("track_switch", "reroute")],
+        location=PointLocation(width / 2.0, mid_y),
+    )
+    system.add_database("DB1")
+
+    return Scenario(
+        system=system,
+        params={
+            "detect_range": detect_range,
+            "sampling_period": sampling_period,
+            "horizon": horizon,
+            "spacing": spacing,
+            "sinks": (west_sink, east_sink),
+        },
+        handles={
+            "tram_a": tram_a,
+            "tram_b": tram_b,
+            "reroute_log": reroute_log,
+        },
     )

@@ -28,6 +28,7 @@ from repro.workloads.families import (
     build_convoy_pursuit,
     build_high_density,
     build_sensor_failure_storm,
+    build_sharded_metro,
     build_urban_campus,
 )
 from repro.workloads.scenarios import (
@@ -262,6 +263,30 @@ register_scenario(
             "medium": {},
             "large": {"rows": 6, "cols": 6, "storm_start": 300,
                       "storm_end": 700, "horizon": 1200},
+        },
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="sharded_metro",
+        builder=build_sharded_metro,
+        description="counter-rotating trams sweep a wide two-sink corridor (sharding stress)",
+        layers=("waypoint mobility", "multi-sink WSN", "mote", "sinks", "ccu", "actuation"),
+        paper_section="-",
+        presets={
+            "small": {"rows": 3, "cols": 12, "horizon": 360},
+            # Benchmark scale: a longer corridor, denser sampling and a
+            # wide uncooled crossing window keep both sinks' pair
+            # windows loaded while the load (the tram meeting point)
+            # sweeps every spatial partition — the shard-scaling
+            # workload behind the BENCH_PR4 rows.
+            "medium": {"rows": 3, "cols": 20, "sampling_period": 2,
+                       "horizon": 900, "crossing_window_rounds": 40,
+                       "crossing_cooldown_rounds": 0},
+            "large": {"rows": 4, "cols": 28, "sampling_period": 2,
+                      "horizon": 1800, "crossing_window_rounds": 50,
+                      "crossing_cooldown_rounds": 0},
         },
     )
 )

@@ -93,6 +93,8 @@ def build_smart_building(
     leave_tick: int = 600,
     horizon: int = 900,
     use_planner: bool = True,
+    shards: int = 1,
+    partition: str = "grid",
 ) -> Scenario:
     """The paper's running example as a closed-loop system.
 
@@ -102,7 +104,9 @@ def build_smart_building(
     ``long_stay`` cyber-physical events; the CCU's rule issues an
     ``adjust_hvac`` command.
     """
-    system = CPSSystem(seed=seed, use_planner=use_planner)
+    system = CPSSystem(
+        seed=seed, use_planner=use_planner, shards=shards, partition=partition
+    )
     window_pos = PointLocation(20.0, 20.0)
     far = PointLocation(0.0, 0.0)
     user = PhysicalObject(
@@ -230,6 +234,8 @@ def build_forest_fire(
     spread_probability: float = 0.35,
     horizon: int = 800,
     use_planner: bool = True,
+    shards: int = 1,
+    partition: str = "grid",
 ) -> Scenario:
     """Forest-fire detection with an actuated suppression loop.
 
@@ -239,7 +245,9 @@ def build_forest_fire(
     reporting motes); the CCU commands suppression, which zeroes the
     spread probability — measurably bounding the burned fraction.
     """
-    system = CPSSystem(seed=seed, use_planner=use_planner)
+    system = CPSSystem(
+        seed=seed, use_planner=use_planner, shards=shards, partition=partition
+    )
     extent = BoundingBox(
         -spacing, -spacing, cols * spacing + spacing, rows * spacing + spacing
     )
@@ -409,6 +417,8 @@ def build_intrusion(
     patrol_speed: float = 0.8,
     horizon: int = 600,
     use_planner: bool = True,
+    shards: int = 1,
+    partition: str = "grid",
 ) -> Scenario:
     """Intruder tracking with spatio-temporal fusion and trilateration.
 
@@ -418,7 +428,9 @@ def build_intrusion(
     distance (condition S1 extended to three entities), trilaterates
     the position, and the CCU raises ``intruder_alarm``.
     """
-    system = CPSSystem(seed=seed, use_planner=use_planner)
+    system = CPSSystem(
+        seed=seed, use_planner=use_planner, shards=shards, partition=partition
+    )
     width = (cols - 1) * spacing
     height = (rows - 1) * spacing
     intruder = PhysicalObject(

@@ -1,4 +1,4 @@
-"""Golden-trace conformance: every registered scenario, both engines.
+"""Golden-trace conformance: every registered scenario, every backend.
 
 The contract this suite pins down, for *every* scenario in the registry
 (small preset, registered seed):
@@ -9,6 +9,11 @@ The contract this suite pins down, for *every* scenario in the registry
   same emitted instances at every observer, the same actuations, the
   same behavioral trace digest.  Pruning may only reduce
   ``bindings_evaluated``, never change a match set.
+* **sharded equivalence** — the third differential leg: the spatially
+  sharded backend (``shards=4``, both grid and stripes partitions at
+  every sink/CCU) reproduces the same match sets and the same golden
+  digests; halo routing plus exact merge may never change behavior,
+  only distribute it.
 * **metrics invariants** — engine counters and instance fields satisfy
   their structural laws (matches never exceed evaluated bindings, the
   naive engine never prunes, confidences stay in [0, 1], detection
@@ -81,12 +86,23 @@ def _match_set(scenario):
 _cache: dict[tuple, object] = {}
 
 
-def _run(name: str, use_planner: bool = True, seed: int | None = None):
+def _run(
+    name: str,
+    use_planner: bool = True,
+    seed: int | None = None,
+    shards: int = 1,
+    partition: str = "grid",
+):
     """Build+run one registered scenario (memoized per session)."""
-    key = (name, use_planner, seed)
+    key = (name, use_planner, seed, shards, partition)
     if key not in _cache:
         scenario = build_scenario(
-            name, preset="small", seed=seed, use_planner=use_planner
+            name,
+            preset="small",
+            seed=seed,
+            use_planner=use_planner,
+            shards=shards,
+            partition=partition,
         )
         scenario.system.run(until=scenario.params["horizon"])
         _cache[key] = scenario
@@ -142,6 +158,54 @@ class TestPlannerNaiveEquivalence:
                 <= n_obs.engine.stats.bindings_evaluated
             )
             assert p_obs.engine.stats.matches == n_obs.engine.stats.matches
+
+
+@pytest.mark.parametrize("name", scenario_names())
+class TestShardedConformance:
+    """The sharded backend as the third differential leg.
+
+    ``shards=4`` installs a ShardedDetectionEngine at every sink and
+    CCU; halo routing plus exact cross-shard merge must reproduce the
+    single-engine behavior byte-for-byte on every registered scenario.
+    """
+
+    def test_sharded_vs_naive_match_sets(self, name):
+        # The CI conformance-matrix leg: partitioned + planned versus
+        # the exhaustive single-engine baseline.
+        sharded = _run(name, shards=4)
+        naive = _run(name, use_planner=False)
+        assert _match_set(sharded) == _match_set(naive)
+
+    def test_sharded_digest_matches_golden(self, name):
+        sharded = _run(name, shards=4)
+        path = _golden_path(name)
+        if not path.exists():
+            pytest.skip("golden not generated yet")
+        golden = json.loads(path.read_text())
+        assert _behavior_digest(sharded) == golden["digest"], (
+            f"sharded backend diverged from the golden trace of {name!r}; "
+            f"sharding must redistribute detection, never change it"
+        )
+
+    def test_stripes_partition_same_behavior(self, name):
+        grid = _run(name, shards=4)
+        stripes = _run(name, shards=4, partition="stripes")
+        assert _behavior_digest(grid) == _behavior_digest(stripes)
+
+    def test_sharded_engine_counter_laws(self, name):
+        sharded = _run(name, shards=4)
+        single = _run(name)
+        for sh_obs, si_obs in zip(
+            _observers(sharded.system), _observers(single.system)
+        ):
+            assert sh_obs.name == si_obs.name
+            stats = sh_obs.engine.stats
+            assert stats.matches == si_obs.engine.stats.matches
+            assert 0 <= stats.matches <= stats.bindings_evaluated
+            assert stats.entities_submitted == (
+                si_obs.engine.stats.entities_submitted
+            )
+            assert stats.evaluation_errors == 0
 
 
 @pytest.mark.parametrize("name", scenario_names())
