@@ -140,13 +140,23 @@ def run_full_model(entities):
     )
     engine = DetectionEngine([spec])
     detected = set()
-    for _, entity in entities:
-        now = (
+
+    def submitted_at(entity):
+        # An interval entity is only fully known when it closes, so its
+        # submission tick is the interval end; iterating in submission
+        # order keeps the engine's clock monotone (the engine now
+        # rejects regressing ticks — the workload list is sorted by
+        # *start* tick, which is not the same order).
+        return (
             entity.estimated_time.end.tick
             if isinstance(entity.estimated_time, TimeInterval)
             else entity.estimated_time.tick
         )
-        for match in engine.submit(entity, now):
+
+    for entity in sorted(
+        (entity for _, entity in entities), key=submitted_at
+    ):
+        for match in engine.submit(entity, submitted_at(entity)):
             detected.add(match.binding["m"].estimated_time.tick)
     return detected
 

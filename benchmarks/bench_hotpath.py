@@ -1,21 +1,27 @@
-"""E12/E13 — engine hot path and shard scaling vs the single engine.
+"""E12/E13/E14 — engine hot path, shard scaling and streaming replay.
 
 Two faces:
 
 * **pytest rows** (``pytest benchmarks/bench_hotpath.py``): per-scenario
   compiled-vs-interpreted rows with deterministic assertions (equal
   instance emission, fewer-or-equal bindings, nonzero predicate-cache
-  hit rate), the selector-routing micro-benchmark row, and the E13
-  sharded-vs-single rows (equal emission, exact match counts);
+  hit rate), the selector-routing micro-benchmark row, the E13
+  sharded-vs-single rows (equal emission, exact match counts), and the
+  E14 streaming-replay rows (sustained observations/second through the
+  reorder buffer, in-order vs jittered, exactness asserted inside the
+  harness);
 * **CLI** (``python benchmarks/bench_hotpath.py [--quick] [--out F]``):
   writes the JSON perf report.  Full runs produce the tracked
-  ``BENCH_PR4.json``: the E12 compiled-vs-interpreted matrix over every
-  registered scenario's *medium* preset plus the E13 shard-scaling
-  sweep (1/2/4/8 shards on ``high_density`` and ``sharded_metro``
-  medium).  ``--quick`` is the CI smoke mode — two small scenarios and
-  a sharded(4) leg, with hard failures if the compiled path is slower
-  than the interpreted one, the memo cache never hits, or the sharded
-  backend is slower than the single-engine (naive) detection path.
+  ``BENCH_PR5.json``: the E12 compiled-vs-interpreted matrix over every
+  registered scenario's *medium* preset, the E13 shard-scaling sweep
+  (1/2/4/8 shards on ``high_density`` and ``sharded_metro`` medium) and
+  the E14 streaming section (``jittery_corridor`` + ``high_density``
+  medium, shards 1 and 4).  ``--quick`` is the CI smoke mode — small
+  subsets with hard failures if the compiled path is slower than the
+  interpreted one, the memo cache never hits, the sharded backend is
+  slower than the single-engine (naive) detection path, or jittered
+  streaming replay costs more than ``STREAM_GATE_OVERHEAD`` times the
+  in-order replay.
 """
 
 import argparse
@@ -29,6 +35,13 @@ QUICK_SCENARIOS = ("high_density", "convoy_pursuit")
 SHARD_GATE_SCENARIO = "high_density"
 """Scenario of the CI sharding gate: sharded(4) must not be slower
 than the single-engine baseline's detection path on its medium preset."""
+
+STREAM_GATE_SCENARIO = "jittery_corridor"
+"""Scenario of the CI streaming gate (its fabric genuinely reorders)."""
+
+STREAM_GATE_OVERHEAD = 2.0
+"""Quick-mode ceiling on jittered-vs-inorder replay wall time: absorbing
+bounded disorder must not double the cost of the ordered stream."""
 
 
 # ----------------------------------------------------------------------
@@ -111,6 +124,46 @@ class TestE13ShardScaling:
                 assert result["matches"] == planned["matches"]
 
 
+class TestE14StreamingReplay:
+    def test_streaming_rows(self, benchmark, report, quick):
+        preset = "small" if quick else "medium"
+        repeats = 1 if quick else 2
+        names = (
+            (STREAM_GATE_SCENARIO,) if quick
+            else report_harness.STREAMING_SCENARIOS
+        )
+
+        def run():
+            return report_harness.streaming_report(
+                names,
+                preset=preset,
+                repeats=repeats,
+                # Match the CLI quick leg's scope: smoke mode skips the
+                # sharded(4) replay cost.
+                shards=(1,) if quick else (1, 4),
+            )
+
+        payload = benchmark.pedantic(run, rounds=1, iterations=1)
+        for name, row in payload["scenarios"].items():
+            for count, entry in row["sharded"].items():
+                inorder, jittered = entry["inorder"], entry["jittered"]
+                report(
+                    f"[E14] {name:<16} shards={count:<2} preset={preset:<6} "
+                    f"inorder {inorder['obs_per_s']:.0f} obs/s vs "
+                    f"jittered {jittered['obs_per_s']:.0f} obs/s "
+                    f"(overhead {entry['jitter_overhead']:.2f}x) "
+                    f"reorder_peak={jittered['reorder_peak']} "
+                    f"matches={jittered['matches']}"
+                )
+                # Exactness (replay == live emission, zero lates) is
+                # asserted inside the harness; the rows only add the
+                # structural invariants that stay noise-proof.
+                assert jittered["matches"] == inorder["matches"]
+                assert jittered["observations"] == inorder["observations"]
+                if jittered["observations"]:
+                    assert jittered["reorder_peak"] >= 1
+
+
 # ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
@@ -127,13 +180,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--out",
-        default="BENCH_PR4.json",
-        help="output JSON path (default: BENCH_PR4.json)",
+        default="BENCH_PR5.json",
+        help="output JSON path (default: BENCH_PR5.json)",
     )
     parser.add_argument(
         "--skip-sharding",
         action="store_true",
         help="omit the E13 shard-scaling section (and its gate)",
+    )
+    parser.add_argument(
+        "--skip-streaming",
+        action="store_true",
+        help="omit the E14 streaming-replay section (and its gate)",
     )
     parser.add_argument(
         "--shard-repeats",
@@ -214,6 +272,39 @@ def main(argv: list[str] | None = None) -> int:
                         f"({gate['result']['detect_s']:.3f}s) slower than "
                         f"the single-engine baseline "
                         f"({naive['detect_s']:.3f}s)"
+                    )
+    if not args.skip_streaming:
+        streaming = report_harness.streaming_report(
+            names=(STREAM_GATE_SCENARIO,)
+            if args.quick
+            else report_harness.STREAMING_SCENARIOS,
+            preset=preset,
+            repeats=repeats,
+            shards=(1,) if args.quick else (1, 4),
+        )
+        payload["streaming"] = streaming
+        for name, row in streaming["scenarios"].items():
+            for count, entry in sorted(
+                row["sharded"].items(), key=lambda kv: int(kv[0])
+            ):
+                inorder, jittered = entry["inorder"], entry["jittered"]
+                print(
+                    f"{name:<22} {preset:<7} stream shards={count:<2} "
+                    f"inorder={inorder['obs_per_s']:>9.0f} obs/s "
+                    f"jittered={jittered['obs_per_s']:>9.0f} obs/s "
+                    f"overhead={entry['jitter_overhead']:>5.2f}x  "
+                    f"reorder_peak={jittered['reorder_peak']}"
+                )
+                if (
+                    args.quick
+                    and name == STREAM_GATE_SCENARIO
+                    and entry["jitter_overhead"] > STREAM_GATE_OVERHEAD
+                ):
+                    failures.append(
+                        f"{name}: jittered streaming replay "
+                        f"({entry['jitter_overhead']:.2f}x) costs more than "
+                        f"{STREAM_GATE_OVERHEAD}x the in-order replay "
+                        f"(shards={count})"
                     )
     path = report_harness.write_report(args.out, payload)
     for name, row in payload["scenarios"].items():

@@ -46,9 +46,17 @@ __all__ = [
     "measure_mode",
     "hotpath_report",
     "shard_scaling_report",
+    "streaming_report",
     "routing_microbench",
     "write_report",
 ]
+
+STREAMING_SCENARIOS = ("jittery_corridor", "high_density")
+"""Families the streaming rows run: the reordering-fabric workload the
+runtime was built for, plus the window-pressure stress family."""
+
+STREAMING_LATENESS = 8
+"""Lateness bound (and jitter max delay) of the streaming benchmark."""
 
 SHARD_SCALING_SCENARIOS = ("high_density", "sharded_metro")
 """Families the shard-scaling rows run: the hash-grid stress workload
@@ -289,6 +297,144 @@ def shard_scaling_report(
         "repeats": repeats,
         "partition": "grid",
         "shard_counts": list(shard_counts),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scenarios": rows,
+    }
+
+
+def streaming_report(
+    names: tuple[str, ...] = STREAMING_SCENARIOS,
+    preset: str = "medium",
+    lateness: int = STREAMING_LATENESS,
+    repeats: int = 3,
+    shards: tuple[int, ...] = (1, 4),
+) -> dict:
+    """Out-of-order streaming replay rows (the E14 / BENCH_PR5 section).
+
+    Per scenario: one live run with stream taps on every sink/CCU, then
+    per shard count a best-of-``repeats`` measurement of two replays of
+    the captured feeds —
+
+    * ``inorder`` — the raw in-order stream through
+      :class:`~repro.stream.runtime.StreamingDetectionRuntime` (reorder
+      buffer + watermark overhead on an already-ordered stream);
+    * ``jittered`` — the same stream disordered by seeded bounded
+      jitter (delays up to ``lateness``), which the runtime must absorb
+      and re-order —
+
+    reporting sustained observations/second, the reorder buffer's
+    occupancy high-water mark and the jitter overhead ratio.  Exactness
+    is asserted, not reported: every replay's emitted instances must
+    equal the live run's, and within-bound jitter must produce zero
+    late observations — a wrong-but-fast streaming path fails the
+    report instead of shipping a number.
+    """
+    from repro.stream import (
+        JitteredSource,
+        ReplayObserver,
+        ReplaySource,
+        profile_of,
+    )
+
+    rows: dict[str, dict] = {}
+    for name in names:
+        gc.collect()
+        scenario = build_scenario(name, preset=preset)
+        taps = scenario.system.attach_stream_taps()
+        scenario.system.run(until=scenario.params["horizon"])
+        observers = {
+            obs_name: (
+                scenario.system.sinks.get(obs_name)
+                or scenario.system.ccus[obs_name]
+            )
+            for obs_name in taps
+        }
+        live_keys = {
+            obs_name: [i.key for i in observer.emitted]
+            for obs_name, observer in observers.items()
+        }
+        bounds = scenario.system.detection_bounds()
+        observations = sum(tap.observation_count for tap in taps.values())
+
+        def replay_once(jitter: bool, shard_count: int) -> dict:
+            gc.collect()
+            wall = 0.0
+            stats_parts = []
+            for obs_name, tap in taps.items():
+                # Materialize both legs' StreamItems before the timer:
+                # JitteredSource is eager by construction, and iterating
+                # a raw tap builds a fresh ReplaySource per pass — left
+                # inside the window it would inflate only the in-order
+                # wall time and understate the jitter overhead ratio.
+                source = (
+                    JitteredSource(tap, max_delay=lateness, seed=0)
+                    if jitter
+                    else ReplaySource(tap.batches, name=tap.name)
+                )
+                replayer = ReplayObserver(
+                    profile_of(observers[obs_name]),
+                    lateness=lateness,
+                    shards=shard_count,
+                    bounds=bounds if shard_count > 1 else None,
+                )
+                start = time.perf_counter()
+                replayer.replay(source)
+                wall += time.perf_counter() - start
+                stats = replayer.runtime.stats
+                assert stats.late_observations == 0, (
+                    f"{name}/{obs_name}: within-bound jitter produced "
+                    f"{stats.late_observations} late observations"
+                )
+                assert [i.key for i in replayer.emitted] == live_keys[
+                    obs_name
+                ], f"{name}/{obs_name}: streamed replay diverged from live run"
+                stats_parts.append(stats)
+            merged = EngineStats.merge(stats_parts)
+            return {
+                "wall_s": round(wall, 6),
+                "observations": merged.entities_submitted,
+                "obs_per_s": round(merged.entities_submitted / wall, 1)
+                if wall
+                else 0.0,
+                "reorder_peak": merged.reorder_peak,
+                "matches": merged.matches,
+            }
+
+        def best_of(jitter: bool, shard_count: int) -> dict:
+            best: dict | None = None
+            for _ in range(max(1, repeats)):
+                result = replay_once(jitter, shard_count)
+                if best is None or result["wall_s"] < best["wall_s"]:
+                    best = result
+            return best
+
+        by_shards: dict[str, dict] = {}
+        for shard_count in shards:
+            inorder = best_of(jitter=False, shard_count=shard_count)
+            jittered = best_of(jitter=True, shard_count=shard_count)
+            by_shards[str(shard_count)] = {
+                "inorder": inorder,
+                "jittered": jittered,
+                # How much absorbing real disorder costs relative to an
+                # already-ordered stream through the same runtime.
+                "jitter_overhead": round(
+                    jittered["wall_s"] / inorder["wall_s"], 2
+                )
+                if inorder["wall_s"]
+                else 0.0,
+            }
+        rows[name] = {
+            "observations": observations,
+            "taps": len(taps),
+            "sharded": by_shards,
+        }
+        del scenario, taps, observers
+    return {
+        "preset": preset,
+        "lateness": lateness,
+        "repeats": repeats,
+        "shard_counts": [str(s) for s in shards],
         "python": platform.python_version(),
         "platform": platform.platform(),
         "scenarios": rows,

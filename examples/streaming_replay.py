@@ -1,0 +1,105 @@
+"""Out-of-order streaming replay: watermarks, lateness and checkpoints.
+
+Runs the ``jittery_corridor`` scenario (whose radio genuinely delivers
+sensor events out of event-time order), captures the sink's engine feed
+with a stream tap, then:
+
+1. replays the feed with seeded bounded jitter through the streaming
+   runtime and shows the emitted instances are byte-identical to the
+   live run (the reorder buffer + watermark restore event-time order);
+2. replays with jitter *beyond* the lateness bound and shows late
+   observations are counted and reported, never silently dropped;
+3. checkpoints the replay mid-stream, restores into a fresh runtime and
+   engine, and shows the remaining instance stream is identical.
+
+Run:  PYTHONPATH=src python examples/streaming_replay.py
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.stream import JitteredSource, ReplayObserver, profile_of
+from repro.stream.runtime import arrival_groups
+from repro.workloads import build_scenario
+
+LATENESS = 8
+SINK = "MT0_0"
+
+
+def main() -> None:
+    # -- live run with a stream tap on the sink ------------------------
+    scenario = build_scenario("jittery_corridor", preset="small")
+    taps = scenario.system.attach_stream_taps()
+    scenario.system.run(until=scenario.params["horizon"])
+    sink = scenario.system.sinks[SINK]
+    tap = taps[SINK]
+    print(
+        f"live run: {tap.observation_count} observations reached the sink, "
+        f"{len(sink.emitted)} instances emitted"
+    )
+
+    # -- 1) bounded jitter replays exactly -----------------------------
+    profile = profile_of(sink)
+    source = JitteredSource(tap, max_delay=LATENESS, seed=7)
+    print(
+        f"jittered source (delay <= {LATENESS} ticks) is "
+        f"{'out of' if source.is_shuffled() else 'in'} event-time order"
+    )
+    replayer = ReplayObserver(profile, lateness=LATENESS)
+    replayer.replay(source)
+    stats = replayer.runtime.stats
+    identical = [i.key for i in replayer.emitted] == [
+        i.key for i in sink.emitted
+    ] and all(a == b for a, b in zip(replayer.emitted, sink.emitted))
+    print(
+        f"streamed replay: {len(replayer.emitted)} instances, "
+        f"late={stats.late_observations}, reorder_peak={stats.reorder_peak}, "
+        f"identical to live run: {identical}"
+    )
+
+    # -- 2) beyond-bound jitter: lates counted, never dropped ----------
+    wild = JitteredSource(tap, max_delay=4 * LATENESS, seed=7)
+    lossy = ReplayObserver(profile, lateness=LATENESS)
+    lossy.replay(wild)
+    print(
+        f"beyond-bound jitter (delay <= {4 * LATENESS}): "
+        f"{lossy.runtime.stats.late_observations} late observations "
+        f"counted and retained "
+        f"({lossy.runtime.released_items} released + "
+        f"{len(lossy.runtime.late_items)} late = {tap.observation_count})"
+    )
+
+    # -- 3) checkpoint mid-stream, restore, resume ---------------------
+    groups = list(arrival_groups(JitteredSource(tap, max_delay=LATENESS, seed=7)))
+    half = len(groups) // 2
+    first = ReplayObserver(profile, lateness=LATENESS)
+    first.runtime.register_source(tap.name)
+    for _, group in groups[:half]:
+        first.ingest(group)
+    checkpoint = first.snapshot()
+    print(
+        f"checkpoint after {half}/{len(groups)} delivery steps: "
+        f"{checkpoint.emitted_count} instances emitted, "
+        f"{len(checkpoint.runtime.pending)} observations still in the "
+        f"reorder buffer"
+    )
+    resumed = ReplayObserver(profile, lateness=LATENESS)
+    resumed.restore(checkpoint)
+    for _, group in groups[half:]:
+        resumed.ingest(group)
+    resumed.finish()
+    # Reference: the uninterrupted replay's tail.
+    for _, group in groups[half:]:
+        first.ingest(group)
+    first.finish()
+    tail = first.trace_rows[checkpoint.emitted_count:]
+    print(
+        f"resumed replay re-emitted {len(resumed.trace_rows)} instances; "
+        f"identical remaining stream: {resumed.trace_rows == tail}"
+    )
+
+
+if __name__ == "__main__":
+    main()

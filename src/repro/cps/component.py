@@ -138,6 +138,7 @@ class ObserverComponent(CPSComponent):
         self._seq: dict[str, int] = {}
         self._inbox: list[Entity] = []
         self._flush_scheduled = False
+        self._stream_tap = None
         self.emitted: list[EventInstance] = []
 
     def add_spec(self, spec: EventSpecification) -> None:
@@ -162,8 +163,30 @@ class ObserverComponent(CPSComponent):
         entry point for per-tick delivery (sampling rounds, coalesced
         packet arrivals).
         """
+        if self._stream_tap is not None:
+            self._stream_tap.record(self.sim.tick, entities)
         matches = self.engine.submit_batch(entities, self.sim.tick)
         return [self._emit_match(match) for match in matches]
+
+    def attach_stream_tap(self, tap) -> None:
+        """Record every engine submission into ``tap`` (one per observer).
+
+        ``tap`` is any object with ``record(tick, entities)`` —
+        canonically a :class:`~repro.stream.capture.StreamTap`, whose
+        recording doubles as an
+        :class:`~repro.stream.source.ObservationSource` so the
+        observer's live feed can be replayed (jittered, resumed from a
+        checkpoint, ...) through the streaming runtime.
+
+        One tap per observer: replacing an attached tap would silently
+        truncate its recording mid-stream, so a second attach raises.
+        """
+        if self._stream_tap is not None:
+            raise ComponentError(
+                f"observer {self.name!r} already has a stream tap; "
+                "replacing it would truncate the first tap's recording"
+            )
+        self._stream_tap = tap
 
     def enqueue(self, entity: Entity) -> None:
         """Buffer an entity for batched ingestion later this tick.

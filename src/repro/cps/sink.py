@@ -21,6 +21,7 @@ of a sink computing a user location from range measurements.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Sequence
 
 from repro.core.errors import SpatialError
@@ -40,9 +41,42 @@ from repro.network.packet import Packet, PacketKind
 from repro.sim.kernel import Simulator
 from repro.sim.trace import TraceRecorder
 
-__all__ = ["SinkNode"]
+__all__ = ["SinkNode", "trilaterated_refinement"]
 
 PublishCallback = Callable[[EventInstance], None]
+
+
+def trilaterated_refinement(
+    instance: EventInstance, match: Match, attribute: str
+) -> tuple[EventInstance, int] | None:
+    """Refine ``l_eo`` by multilateration over the match's range reports.
+
+    Pure function of the instance and its match — shared by the live
+    :class:`SinkNode` path and the streaming replay observers
+    (:mod:`repro.stream.replay`), so a replayed stream reproduces the
+    sink's localization byte-for-byte.  Returns the refined instance
+    plus the anchor count, or ``None`` when fewer than three usable
+    anchors exist or the solver rejects the geometry (the caller keeps
+    the unrefined instance).
+    """
+    anchors: list[PointLocation] = []
+    ranges: list[float] = []
+    for entity in match.entities():
+        value = entity.attributes.get(attribute)
+        location = getattr(entity, "generated_location", None)
+        if location is None:
+            location = entity.occurrence_location
+        if value is None or not isinstance(location, PointLocation):
+            continue
+        anchors.append(location)
+        ranges.append(float(value))
+    if len(anchors) < 3:
+        return None
+    try:
+        estimate = trilaterate(anchors, ranges)
+    except SpatialError:
+        return None
+    return replace(instance, estimated_location=estimate), len(anchors)
 
 
 class SinkNode(ObserverComponent):
@@ -150,31 +184,18 @@ class SinkNode(ObserverComponent):
         """Multilaterate ``l_eo`` when range measurements are available."""
         if self.trilaterate_attribute is None:
             return instance
-        anchors: list[PointLocation] = []
-        ranges: list[float] = []
-        for entity in match.entities():
-            value = entity.attributes.get(self.trilaterate_attribute)
-            location = getattr(entity, "generated_location", None)
-            if location is None:
-                location = entity.occurrence_location
-            if value is None or not isinstance(location, PointLocation):
-                continue
-            anchors.append(location)
-            ranges.append(float(value))
-        if len(anchors) < 3:
+        refined = trilaterated_refinement(
+            instance, match, self.trilaterate_attribute
+        )
+        if refined is None:
             return instance
-        try:
-            estimate = trilaterate(anchors, ranges)
-        except SpatialError:
-            return instance
-        from dataclasses import replace
-
+        refined_instance, anchors = refined
         self.record(
             "sink.trilaterated",
             event_id=instance.event_id,
-            anchors=len(anchors),
+            anchors=anchors,
         )
-        return replace(instance, estimated_location=estimate)
+        return refined_instance
 
     def distribute(self, instance: EventInstance) -> None:
         """Publish emitted CP instances downstream (bus / backbone)."""

@@ -412,6 +412,30 @@ class CPSSystem:
             self.start()
         return self.sim.run(until=until)
 
+    # -- streaming -------------------------------------------------------
+
+    def attach_stream_taps(self, include_motes: bool = False) -> dict:
+        """Record every observer's engine feed for streaming replay.
+
+        Installs a :class:`~repro.stream.capture.StreamTap` on each
+        sink and CCU (the observers consuming network-delivered — and
+        therefore disorder-prone — feeds; ``include_motes=True`` adds
+        the sampling-fed motes too) and returns them keyed by observer
+        name.  Call before :meth:`run`; afterwards each tap replays the
+        live feed through :mod:`repro.stream`.
+        """
+        from repro.stream.capture import StreamTap
+
+        observers = [*self.sinks.values(), *self.ccus.values()]
+        if include_motes:
+            observers = [*self.motes.values(), *observers]
+        taps: dict[str, StreamTap] = {}
+        for observer in observers:
+            tap = StreamTap(observer.name)
+            observer.attach_stream_tap(tap)
+            taps[observer.name] = tap
+        return taps
+
     # -- reporting ---------------------------------------------------------
 
     def instances_by_layer(self) -> dict[EventLayer, int]:

@@ -43,7 +43,7 @@ Evaluation properties worth knowing:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from time import perf_counter
 from typing import Iterable, Iterator, Mapping, Sequence
 
@@ -78,7 +78,13 @@ from repro.detect.index import DEFAULT_CELL_SIZE, RoleIndex
 from repro.detect.planner import EvaluationPlan, compile_plan
 from repro.detect.windows import TickWindow
 
-__all__ = ["Match", "EngineStats", "DetectionEngine", "build_instance"]
+__all__ = [
+    "Match",
+    "EngineStats",
+    "EngineSnapshot",
+    "DetectionEngine",
+    "build_instance",
+]
 
 
 @dataclass(frozen=True)
@@ -122,6 +128,13 @@ class EngineStats:
     evaluation_errors: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    late_observations: int = 0
+    """Observations that arrived beyond the streaming lateness bound —
+    counted and reported by :class:`repro.stream.runtime.StreamingDetectionRuntime`,
+    never silently dropped."""
+    reorder_peak: int = 0
+    """High-water mark of the streaming reorder buffer's occupancy: the
+    state a consumer had to hold to absorb the transport's disorder."""
     evaluation_time_s: float = 0.0
     """Wall-clock seconds spent inside :meth:`DetectionEngine.submit_batch`
     (selector routing, window/index maintenance, enumeration and condition
@@ -133,6 +146,13 @@ class EngineStats:
         """Fraction of predicate-memo lookups answered from the cache."""
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def observations_per_s(self) -> float:
+        """Sustained ingestion throughput over the measured detection path."""
+        if not self.evaluation_time_s:
+            return 0.0
+        return self.entities_submitted / self.evaluation_time_s
 
     @classmethod
     def merge(cls, parts: Iterable["EngineStats"]) -> "EngineStats":
@@ -155,8 +175,37 @@ class EngineStats:
             total.evaluation_errors += part.evaluation_errors
             total.cache_hits += part.cache_hits
             total.cache_misses += part.cache_misses
+            total.late_observations += part.late_observations
+            # Occupancy is a level, not a flow: the roll-up keeps the
+            # worst single buffer, not a meaningless sum.
+            total.reorder_peak = max(total.reorder_peak, part.reorder_peak)
             total.evaluation_time_s += part.evaluation_time_s
         return total
+
+
+@dataclass(frozen=True)
+class EngineSnapshot:
+    """Checkpoint of one :class:`DetectionEngine`'s mutable state.
+
+    Captures everything a mid-stream resume needs — window contents
+    (with arrival ticks), the insertion-ordered dedup store, cooldown
+    clocks, the event-time watermark and the counter state — keyed by
+    the installed specification ids so a snapshot can only be restored
+    into an engine watching the same specifications.  Role indexes are
+    *not* captured: they mirror window contents FIFO, so restore
+    rebuilds them exactly by re-adding the window entries in order.
+
+    Entities are shared by reference (they are immutable), which makes
+    snapshots cheap: cost is proportional to live window content, not
+    stream length.
+    """
+
+    spec_ids: tuple[str, ...]
+    windows: Mapping[str, Mapping[str, tuple[tuple[int, Entity], ...]]]
+    seen: Mapping[str, tuple[tuple[frozenset, int], ...]]
+    last_match: Mapping[str, int]
+    watermark: int | None
+    stats: EngineStats
 
 
 class DetectionEngine:
@@ -188,6 +237,7 @@ class DetectionEngine:
         self._compiled: dict[str, CompiledCondition] = {}
         self._indexes: dict[str, dict[str, RoleIndex]] = {}
         self._cache = PredicateCache()
+        self._watermark: int | None = None
         self.use_planner = use_planner
         self.index_cell_size = index_cell_size
         self.stats = EngineStats()
@@ -277,6 +327,18 @@ class DetectionEngine:
                 shard only needs it as binding material for local
                 triggers.  ``None`` evaluates everything.
         """
+        if self._watermark is not None and now < self._watermark:
+            # Window eviction and dedup pruning both assume time moves
+            # forward; a regressing tick would silently corrupt them.
+            # Out-of-order streams belong in repro.stream's reorder
+            # buffer, which re-establishes event-time order before the
+            # engine ever sees a batch.
+            raise ObserverError(
+                f"non-monotone submission: tick {now} after watermark "
+                f"{self._watermark}; feed out-of-order observations through "
+                f"repro.stream.StreamingDetectionRuntime instead"
+            )
+        self._watermark = now
         started = perf_counter()
         batch = list(entities)
         flags = None if evaluate is None else list(evaluate)
@@ -507,6 +569,96 @@ class DetectionEngine:
                 break
             del seen[key]
 
+    # -- event-time progress -------------------------------------------
+
+    @property
+    def low_watermark(self) -> int | None:
+        """Highest tick this engine has been advanced to (``None`` = fresh).
+
+        Submissions below the watermark raise
+        :class:`~repro.core.errors.ObserverError`; equal ticks are fine
+        (several batches may share a tick).
+        """
+        return self._watermark
+
+    def advance(self, now: int) -> None:
+        """Advance the event-time watermark without submitting anything.
+
+        The sharded backend calls this on shards a batch does not route
+        to, so every shard's clock — and therefore the min-merged
+        :attr:`ShardedDetectionEngine.low_watermark
+        <repro.shard.engine.ShardedDetectionEngine.low_watermark>` —
+        tracks the stream instead of stalling on quiet regions.  Window
+        eviction stays lazy (it happens on the next touching batch), so
+        advancing is O(1) and behavior-neutral.
+        """
+        if self._watermark is not None and now < self._watermark:
+            raise ObserverError(
+                f"cannot advance watermark backwards: tick {now} after "
+                f"{self._watermark}"
+            )
+        self._watermark = now
+
+    # -- checkpoint / restore ------------------------------------------
+
+    def snapshot(self) -> EngineSnapshot:
+        """Capture the engine's mutable state for a later :meth:`restore`.
+
+        The snapshot is consistent as of the last completed
+        :meth:`submit_batch`: windows (with arrival ticks), dedup
+        entries in insertion order, cooldown clocks, the watermark and
+        the stats counters.  Specs, plans and compiled conditions are
+        *configuration*, not state — they are identified by id and must
+        already be installed in the engine a snapshot is restored into.
+        """
+        return EngineSnapshot(
+            spec_ids=tuple(self._specs),
+            windows={
+                event_id: {
+                    role: window.entries() for role, window in pools.items()
+                }
+                for event_id, pools in self._pools.items()
+            },
+            seen={
+                event_id: tuple(seen.items())
+                for event_id, seen in self._seen.items()
+            },
+            last_match=dict(self._last_match),
+            watermark=self._watermark,
+            stats=replace(self.stats),
+        )
+
+    def restore(self, snapshot: EngineSnapshot) -> None:
+        """Reset this engine to a snapshot taken from an equivalent one.
+
+        The engine must watch exactly the snapshot's specifications (by
+        id, in installation order) — restore rebuilds windows, role
+        indexes (by re-adding window entries in FIFO order, the same
+        sequence of operations the original submissions performed),
+        dedup stores and cooldown clocks, after which the engine's
+        future match stream is indistinguishable from the snapshotted
+        engine's.
+        """
+        if tuple(self._specs) != snapshot.spec_ids:
+            raise ObserverError(
+                f"snapshot watches specs {snapshot.spec_ids}, this engine "
+                f"watches {tuple(self._specs)}"
+            )
+        self.clear()
+        for event_id, pools in self._pools.items():
+            indexes = self._indexes[event_id]
+            for role, window in pools.items():
+                index = indexes.get(role)
+                for tick, entity in snapshot.windows[event_id][role]:
+                    window.add(entity, tick)
+                    if index is not None:
+                        index.add(entity)
+        for event_id, entries in snapshot.seen.items():
+            self._seen[event_id].update(entries)
+        self._last_match.update(snapshot.last_match)
+        self._watermark = snapshot.watermark
+        self.stats = replace(snapshot.stats)
+
     def set_last_match(self, event_id: str, tick: int | None) -> None:
         """Override one specification's cooldown clock.
 
@@ -533,6 +685,7 @@ class DetectionEngine:
             seen.clear()
         self._last_match.clear()
         self._cache.reset()
+        self._watermark = None
 
 
 # ----------------------------------------------------------------------

@@ -70,6 +70,15 @@ class TickWindow(Generic[T]):
                 listener(evicted)
         return evicted
 
+    def entries(self) -> tuple[tuple[int, T], ...]:
+        """Current ``(tick, item)`` pairs in arrival order (no eviction).
+
+        The checkpoint view: engine snapshots serialize windows through
+        this and rebuild them by re-adding the pairs in order, which
+        reproduces both content and FIFO position exactly.
+        """
+        return tuple(self._items)
+
     def items(self, now: int) -> Sequence[T]:
         """Live items at ``now`` (evicting stale ones first).
 

@@ -32,13 +32,14 @@ observer via the ``shards=N`` / ``partition="grid"|"stripes"`` knobs of
 :class:`~repro.cps.system.CPSSystem` and its sink/CCU builders.
 """
 
-from repro.shard.engine import ShardedDetectionEngine
+from repro.shard.engine import ShardedDetectionEngine, ShardedEngineSnapshot
 from repro.shard.merger import MatchMerger
 from repro.shard.partitioner import WorldPartitioner
 from repro.shard.router import ObservationRouter, RouterStats
 
 __all__ = [
     "ShardedDetectionEngine",
+    "ShardedEngineSnapshot",
     "MatchMerger",
     "WorldPartitioner",
     "ObservationRouter",

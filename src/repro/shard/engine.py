@@ -32,20 +32,50 @@ stays available through :meth:`shard_stats`.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, replace
 from time import perf_counter
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.core.entity import Entity
 from repro.core.errors import ObserverError
 from repro.core.space_model import BoundingBox
 from repro.core.spec import EventSpecification
-from repro.detect.engine import DetectionEngine, EngineStats, Match
+from repro.detect.engine import (
+    DetectionEngine,
+    EngineSnapshot,
+    EngineStats,
+    Match,
+)
 from repro.detect.index import DEFAULT_CELL_SIZE
 from repro.shard.merger import MatchMerger
 from repro.shard.partitioner import WorldPartitioner
 from repro.shard.router import ObservationRouter
 
-__all__ = ["ShardedDetectionEngine"]
+__all__ = ["ShardedDetectionEngine", "ShardedEngineSnapshot"]
+
+
+@dataclass(frozen=True)
+class ShardedEngineSnapshot:
+    """Checkpoint of a :class:`ShardedDetectionEngine`'s mutable state.
+
+    Per-shard :class:`~repro.detect.engine.EngineSnapshot` plus the
+    sharded level's own state: the merger's authoritative cooldown
+    clocks, the global arrival-sequence stamps and counter, and the
+    sharded-level stats.  The sequence stamps are keyed by entity
+    identity (``id``), so a snapshot is restorable **within the process
+    that took it** while the stamped entities are alive — which window
+    snapshots guarantee for every entity that still matters.  That is
+    exactly the mid-stream resume the streaming runtime needs; durable
+    cross-process checkpoints would serialize entities instead.
+    """
+
+    shards: tuple[EngineSnapshot, ...]
+    partition: str
+    bounds: BoundingBox
+    merger_last_match: Mapping[str, int]
+    seq_map: tuple[tuple[int, tuple[int, int]], ...]
+    next_seq: int
+    own_stats: EngineStats
 
 
 class ShardedDetectionEngine:
@@ -158,6 +188,16 @@ class ShardedDetectionEngine:
         the same stream: same matches, same order, same cooldown
         behavior.
         """
+        mark = self.low_watermark
+        if mark is not None and now < mark:
+            # Reject before any accounting mutates (stamp dict, stats):
+            # the single engine's guard leaves state untouched on a
+            # regressing tick, and the sharded level must match.
+            raise ObserverError(
+                f"non-monotone submission: tick {now} after watermark "
+                f"{mark}; feed out-of-order observations through "
+                f"repro.stream.StreamingDetectionRuntime instead"
+            )
         started = perf_counter()
         batch = list(entities)
         own = self._own
@@ -190,6 +230,12 @@ class ShardedDetectionEngine:
                 if reported:
                     candidates.extend(reported)
                     contributors += 1
+            else:
+                # A shard the batch does not route to still sees time
+                # pass: advancing its clock keeps the min-merged
+                # low_watermark tracking the stream instead of stalling
+                # on whichever shard covers a quiet region.
+                engine.advance(now)
 
         if not candidates:
             merged = []
@@ -245,6 +291,70 @@ class ShardedDetectionEngine:
             if seq_map[key][1] >= horizon:
                 break
             del seq_map[key]
+
+    # -- event-time progress -------------------------------------------
+
+    @property
+    def low_watermark(self) -> int | None:
+        """Min-merged event-time watermark across the shard engines.
+
+        Each shard engine advances its own clock on every batch it sees
+        (or is advanced past — see :meth:`submit_batch`); the sharded
+        backend can only promise progress every shard has reached, so
+        the merged watermark is the minimum, ``None`` while any shard
+        is still fresh.  The streaming runtime reads this to decide how
+        far the reorder buffer may release.
+        """
+        marks = [engine.low_watermark for engine in self._engines]
+        if any(mark is None for mark in marks):
+            return None
+        return min(marks)
+
+    def advance(self, now: int) -> None:
+        """Advance every shard's event-time clock without submitting."""
+        for engine in self._engines:
+            engine.advance(now)
+
+    # -- checkpoint / restore ------------------------------------------
+
+    def snapshot(self) -> ShardedEngineSnapshot:
+        """Capture the sharded backend's mutable state (see
+        :class:`ShardedEngineSnapshot` for the in-process scope)."""
+        return ShardedEngineSnapshot(
+            shards=tuple(engine.snapshot() for engine in self._engines),
+            partition=self.partitioner.strategy,
+            bounds=self.partitioner.bounds,
+            merger_last_match=dict(self._merger.last_match),
+            seq_map=tuple(self._seq_map.items()),
+            next_seq=self._next_seq,
+            own_stats=replace(self._own),
+        )
+
+    def restore(self, snapshot: ShardedEngineSnapshot) -> None:
+        """Reset to a snapshot taken from an equivalently configured
+        sharded engine (same specs, same shard count, same spatial
+        layout — restored windows hold entities placed by the
+        snapshotted router, so a different partition/bounds would
+        silently evaluate against wrong window contents)."""
+        if len(snapshot.shards) != len(self._engines):
+            raise ObserverError(
+                f"snapshot has {len(snapshot.shards)} shards, this engine "
+                f"has {len(self._engines)}"
+            )
+        layout = (self.partitioner.strategy, self.partitioner.bounds)
+        if (snapshot.partition, snapshot.bounds) != layout:
+            raise ObserverError(
+                f"snapshot was taken under partition layout "
+                f"{(snapshot.partition, snapshot.bounds)}, this engine "
+                f"tiles {layout}"
+            )
+        for engine, shard_snapshot in zip(self._engines, snapshot.shards):
+            engine.restore(shard_snapshot)
+        self._merger.last_match.clear()
+        self._merger.last_match.update(snapshot.merger_last_match)
+        self._seq_map = dict(snapshot.seq_map)
+        self._next_seq = snapshot.next_seq
+        self._own = replace(snapshot.own_stats)
 
     # -- aggregate stats ------------------------------------------------
 

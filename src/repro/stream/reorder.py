@@ -1,0 +1,134 @@
+"""Bounded-lateness reorder buffer: disorder in, event-time order out.
+
+The buffer accepts :class:`~repro.stream.source.StreamItem` in any
+order and releases them in ``(event_tick, seq)`` order whenever the
+caller advances the release frontier (the merged watermark).  An item
+whose event tick is at or below the already-released frontier can no
+longer be slotted into the ordered stream: it is a **late** item,
+appended to :attr:`ReorderBuffer.late` and counted — never silently
+dropped — so callers decide whether to surface, re-route or discard it.
+
+Occupancy is tracked with a high-water mark
+(:attr:`ReorderBuffer.peak_occupancy`), the backpressure number the
+streaming benchmarks report: it bounds the state a consumer must hold
+to absorb a transport's disorder.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable
+
+from repro.stream.source import StreamItem
+
+__all__ = ["ReorderBuffer"]
+
+
+class ReorderBuffer:
+    """Min-heap over ``(event_tick, seq)`` with a release frontier."""
+
+    def __init__(self):
+        # Heap entries carry an insertion counter after the order key:
+        # ``seq`` is only unique per source, so two sources' items can
+        # tie on (event_tick, seq) and heapq must never fall through to
+        # comparing StreamItems (which define no ordering).  Ties
+        # release in arrival order, deterministically.
+        self._heap: list[tuple[tuple[int, int], int, StreamItem]] = []
+        self._counter = 0
+        self._released_through: int | None = None
+        self.late: list[StreamItem] = []
+        self.peak_occupancy = 0
+
+    @property
+    def occupancy(self) -> int:
+        """Items currently buffered (excluding lates)."""
+        return len(self._heap)
+
+    @property
+    def released_through(self) -> int | None:
+        """Highest watermark released so far (``None`` before the first)."""
+        return self._released_through
+
+    @property
+    def late_count(self) -> int:
+        """Observations that arrived beyond the lateness bound."""
+        return len(self.late)
+
+    def offer(self, item: StreamItem) -> bool:
+        """Buffer one arrival; ``False`` if it is late.
+
+        An item is late when its event tick falls at or below the
+        frontier already released — emitting it now would regress the
+        consumer's clock.  Late items are retained in :attr:`late` (in
+        arrival order) for reporting; everything else is heap-ordered
+        for release.
+        """
+        if (
+            self._released_through is not None
+            and item.event_tick <= self._released_through
+        ):
+            self.late.append(item)
+            return False
+        heapq.heappush(self._heap, (item.order_key, self._counter, item))
+        self._counter += 1
+        if len(self._heap) > self.peak_occupancy:
+            self.peak_occupancy = len(self._heap)
+        return True
+
+    def release(self, watermark: int) -> list[StreamItem]:
+        """Remove and return every item with ``event_tick <= watermark``.
+
+        Returned in ``(event_tick, seq)`` order — the exact original
+        in-order stream restricted to the released window.  The frontier
+        is monotone: a watermark below a previous release is a no-op.
+        """
+        if (
+            self._released_through is not None
+            and watermark <= self._released_through
+        ):
+            return []
+        self._released_through = watermark
+        released: list[StreamItem] = []
+        heap = self._heap
+        while heap and heap[0][0][0] <= watermark:
+            released.append(heapq.heappop(heap)[2])
+        return released
+
+    def release_all(self) -> list[StreamItem]:
+        """Flush everything still buffered, in event-time order.
+
+        End-of-stream release: the frontier advances to the highest
+        buffered event tick so any *subsequent* offer of an older item
+        is correctly classified late.
+        """
+        if not self._heap:
+            return []
+        highest = max(key[0] for key, _, _ in self._heap)
+        return self.release(highest)
+
+    def pending(self) -> list[StreamItem]:
+        """Buffered items in event-time order (checkpoint view)."""
+        return [item for _, _, item in sorted(self._heap)]
+
+    def restore(
+        self,
+        pending: Iterable[StreamItem],
+        late: Iterable[StreamItem],
+        released_through: int | None,
+        peak_occupancy: int = 0,
+    ) -> None:
+        """Reload buffer state from a checkpoint (replaces everything).
+
+        ``pending`` must be in the order :meth:`pending` produced —
+        re-numbering the insertion counters from it preserves the
+        arrival-order tie-break across the round trip.
+        """
+        self._heap = [
+            (item.order_key, position, item)
+            for position, item in enumerate(pending)
+        ]
+        heapq.heapify(self._heap)
+        self._counter = len(self._heap)
+        self.late = list(late)
+        self._released_through = released_through
+        self.peak_occupancy = max(peak_occupancy, len(self._heap))

@@ -1,0 +1,241 @@
+"""Replaying an observer's feed through the streaming runtime.
+
+An :class:`ObserverProfile` is the *configuration* of a live observer —
+identity, position, layer, instance class, specifications, engine mode
+and refinement — everything that, together with the observer's input
+stream, determines its emitted instances.  :func:`profile_of` extracts
+it from a running :class:`~repro.cps.component.ObserverComponent`.
+
+A :class:`ReplayObserver` pairs a profile with a fresh engine behind a
+:class:`~repro.stream.runtime.StreamingDetectionRuntime` and rebuilds
+the observer's outputs from any (possibly jittered) replay of its
+captured stream: matches emit as the watermark releases their event
+tick, instances are materialized with event-time generation stamps and
+per-event sequence numbers exactly like the live emit path, and each
+emission is rendered as the identical ``instance.emit`` trace row.
+That row-level identity is the conformance suite's lever: splicing the
+replayed rows into the original behavioral trace must reproduce the
+checked-in golden digest byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.core.errors import ObserverError
+from repro.core.event import EventLayer
+from repro.core.instance import EventInstance, ObserverId
+from repro.core.space_model import BoundingBox, PointLocation
+from repro.core.spec import EventSpecification
+from repro.core.time_model import TimePoint
+from repro.detect.engine import DetectionEngine, Match, build_instance
+from repro.detect.index import DEFAULT_CELL_SIZE
+from repro.shard.engine import ShardedDetectionEngine
+from repro.sim.trace import TraceRecord
+from repro.stream.runtime import (
+    RuntimeCheckpoint,
+    StreamingDetectionRuntime,
+)
+from repro.stream.source import ObservationSource, StreamItem
+
+__all__ = [
+    "ObserverProfile",
+    "profile_of",
+    "ReplayObserver",
+    "ReplayCheckpoint",
+]
+
+Refinement = Callable[[EventInstance, Match], EventInstance]
+
+
+@dataclass(frozen=True)
+class ObserverProfile:
+    """Everything but the input stream that fixes an observer's output."""
+
+    name: str
+    observer_id: ObserverId
+    location: PointLocation
+    layer: EventLayer
+    instance_cls: type[EventInstance]
+    specs: tuple[EventSpecification, ...]
+    use_planner: bool = True
+    index_cell_size: float = DEFAULT_CELL_SIZE
+    refine: Refinement | None = None
+
+
+def profile_of(observer) -> ObserverProfile:
+    """Extract the replay profile of a live observer component.
+
+    Works for any :class:`~repro.cps.component.ObserverComponent`;
+    sink-style trilateration refinement is carried over as the pure
+    :func:`~repro.cps.sink.trilaterated_refinement`, so replays refine
+    identically without touching the live component or its trace.
+    """
+    from repro.cps.sink import SinkNode, trilaterated_refinement
+
+    engine = observer.engine
+    refine: Refinement | None = None
+    if isinstance(observer, SinkNode) and observer.trilaterate_attribute:
+        attribute = observer.trilaterate_attribute
+
+        def refine(instance: EventInstance, match: Match) -> EventInstance:
+            refined = trilaterated_refinement(instance, match, attribute)
+            return instance if refined is None else refined[0]
+
+    return ObserverProfile(
+        name=observer.name,
+        observer_id=observer.observer_id,
+        location=observer.location,
+        layer=observer.layer,
+        instance_cls=observer.instance_cls,
+        specs=tuple(engine.specs),
+        use_planner=engine.use_planner,
+        index_cell_size=engine.index_cell_size,
+        refine=refine,
+    )
+
+
+@dataclass(frozen=True)
+class ReplayCheckpoint:
+    """Mid-replay checkpoint: runtime/engine state plus emission counters."""
+
+    runtime: RuntimeCheckpoint
+    seq: Mapping[str, int]
+    emitted_count: int
+
+
+@dataclass
+class ReplayObserver:
+    """A profile bound to a fresh engine behind the streaming runtime.
+
+    Args:
+        profile: The observer configuration to replay.
+        lateness: Disorder bound handed to the runtime's watermark.
+        shards: ``1`` replays on a single
+            :class:`~repro.detect.engine.DetectionEngine`; ``>1``
+            installs the spatially sharded backend — the conformance
+            suite runs both to prove the streamed shard merge exact.
+        bounds: World extent for the shard partitioner (required when
+            ``shards > 1``).
+        partition: Shard layout (``"grid"`` or ``"stripes"``).
+    """
+
+    profile: ObserverProfile
+    lateness: int
+    shards: int = 1
+    bounds: BoundingBox | None = None
+    partition: str = "grid"
+    emitted: list[EventInstance] = field(default_factory=list)
+    trace_rows: list[TraceRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        profile = self.profile
+        if self.shards > 1:
+            if self.bounds is None:
+                raise ObserverError(
+                    f"replaying {profile.name!r} with shards={self.shards} "
+                    "needs bounds"
+                )
+            engine: DetectionEngine | ShardedDetectionEngine = (
+                ShardedDetectionEngine(
+                    profile.specs,
+                    bounds=self.bounds,
+                    shards=self.shards,
+                    partition=self.partition,
+                    use_planner=profile.use_planner,
+                    index_cell_size=profile.index_cell_size,
+                )
+            )
+        else:
+            engine = DetectionEngine(
+                profile.specs,
+                use_planner=profile.use_planner,
+                index_cell_size=profile.index_cell_size,
+            )
+        self.runtime = StreamingDetectionRuntime(
+            engine, lateness=self.lateness, on_match=self._emit
+        )
+        self._seq: dict[str, int] = {}
+
+    # -- feeding -------------------------------------------------------
+
+    def replay(
+        self, source: ObservationSource | Iterable[StreamItem]
+    ) -> list[EventInstance]:
+        """Drain a source end-to-end; return every emitted instance."""
+        self.runtime.run(source)
+        return self.emitted
+
+    def ingest(self, items: Sequence[StreamItem]) -> list[EventInstance]:
+        """Process one delivery step; return the instances it emitted."""
+        before = len(self.emitted)
+        self.runtime.ingest(items)
+        return self.emitted[before:]
+
+    def finish(self) -> list[EventInstance]:
+        """Flush the stream; return the final instances."""
+        before = len(self.emitted)
+        self.runtime.finish()
+        return self.emitted[before:]
+
+    # -- emission (mirrors ObserverComponent._emit_match) --------------
+
+    def _next_seq(self, event_id: str) -> int:
+        seq = self._seq.get(event_id, 0)
+        self._seq[event_id] = seq + 1
+        return seq
+
+    def _emit(self, match: Match) -> None:
+        profile = self.profile
+        instance = build_instance(
+            match,
+            observer=profile.observer_id,
+            seq=self._next_seq(match.spec.event_id),
+            generated_time=TimePoint(match.tick),
+            generated_location=profile.location,
+            layer=profile.layer,
+            instance_cls=profile.instance_cls,
+        )
+        if profile.refine is not None:
+            instance = profile.refine(instance, match)
+        self.emitted.append(instance)
+        self.trace_rows.append(
+            TraceRecord(
+                match.tick,
+                "instance.emit",
+                profile.name,
+                {
+                    "event_id": instance.event_id,
+                    "seq": instance.seq,
+                    "layer": instance.layer.name,
+                    "edl": instance.detection_latency,
+                    "rho": instance.confidence,
+                },
+            )
+        )
+
+    # -- checkpoint / restore ------------------------------------------
+
+    def snapshot(self) -> ReplayCheckpoint:
+        """Checkpoint the replay between delivery steps."""
+        return ReplayCheckpoint(
+            runtime=self.runtime.snapshot(),
+            seq=dict(self._seq),
+            emitted_count=len(self.emitted),
+        )
+
+    def restore(self, checkpoint: ReplayCheckpoint) -> None:
+        """Resume a replay from a checkpoint taken on an equivalently
+        configured observer.
+
+        ``emitted`` / ``trace_rows`` restart **empty** — they collect
+        only post-restore emissions (whether this observer is fresh or
+        is being rewound past later work); ``checkpoint.emitted_count``
+        records how many instances the checkpointed leg had produced,
+        which is the offset to line the tail up against.
+        """
+        self.runtime.restore(checkpoint.runtime)
+        self._seq = dict(checkpoint.seq)
+        self.emitted.clear()
+        self.trace_rows.clear()

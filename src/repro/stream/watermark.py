@@ -1,0 +1,99 @@
+"""Watermark tracking: per-source progress, min-merged release frontier.
+
+A source's *low-watermark* is the promise "no future arrival from me
+will carry an event tick at or below W".  Under the bounded-lateness
+model a source that has shown event tick ``t`` promises
+``W = t - lateness``; a closed (exhausted) source promises everything.
+The merged watermark over several sources is the **minimum** of the
+open sources' promises — one slow source holds the whole frontier, the
+standard discipline that keeps multi-input streaming exact (and the
+same min-merge :class:`~repro.shard.engine.ShardedDetectionEngine`
+applies across its shard engines' clocks).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ObserverError
+
+__all__ = ["WatermarkTracker"]
+
+
+class WatermarkTracker:
+    """Per-source max-event-tick tracking with a min-merged frontier.
+
+    Args:
+        lateness: Non-negative disorder bound (ticks).  An observation
+            may trail the newest one seen from its source by at most
+            this much and still be released in order.
+    """
+
+    def __init__(self, lateness: int):
+        if lateness < 0:
+            raise ObserverError(f"lateness bound cannot be negative: {lateness}")
+        self.lateness = lateness
+        self._max_seen: dict[str, int] = {}
+        self._closed: set[str] = set()
+
+    def register(self, source: str) -> None:
+        """Declare a source before its first observation.
+
+        A registered-but-silent source pins the merged watermark at
+        ``None`` (no release), which is what makes late joiners safe.
+        """
+        self._max_seen.setdefault(source, None)  # type: ignore[arg-type]
+
+    def observe(self, source: str, event_tick: int) -> None:
+        """Note one arrival from ``source`` (re-opens nothing)."""
+        if source in self._closed:
+            raise ObserverError(f"source {source!r} already closed")
+        current = self._max_seen.get(source)
+        if current is None or event_tick > current:
+            self._max_seen[source] = event_tick
+
+    def close(self, source: str) -> None:
+        """Mark a source exhausted; it stops holding the frontier."""
+        self._max_seen.setdefault(source, None)  # type: ignore[arg-type]
+        self._closed.add(source)
+
+    def close_all(self) -> None:
+        """Mark every known source exhausted (end of stream)."""
+        for source in self._max_seen:
+            self._closed.add(source)
+
+    @property
+    def all_closed(self) -> bool:
+        """Whether no open source remains (flush everything)."""
+        return all(source in self._closed for source in self._max_seen)
+
+    def watermark(self) -> int | None:
+        """The merged release frontier.
+
+        ``None`` means "cannot promise anything yet" — either no source
+        is known, or some open source has not produced an observation.
+        When every source is closed the caller should flush
+        unconditionally (see
+        :meth:`~repro.stream.reorder.ReorderBuffer.release_all`).
+        """
+        if not self._max_seen:
+            return None
+        lows: list[int] = []
+        for source, seen in self._max_seen.items():
+            if source in self._closed:
+                continue
+            if seen is None:
+                return None
+            lows.append(seen - self.lateness)
+        if not lows:
+            return None
+        return min(lows)
+
+    def snapshot(self) -> tuple[dict[str, int | None], frozenset[str]]:
+        """Checkpoint view: ``(max_seen per source, closed set)``."""
+        return dict(self._max_seen), frozenset(self._closed)
+
+    def restore(
+        self, max_seen: dict[str, int | None], closed: frozenset[str]
+    ) -> None:
+        """Reload tracker state from a checkpoint (replaces everything)."""
+        self._max_seen = dict(max_seen)
+        self._closed = set(closed)

@@ -3,6 +3,7 @@
 from repro.workloads.families import (
     build_convoy_pursuit,
     build_high_density,
+    build_jittery_corridor,
     build_sensor_failure_storm,
     build_sharded_metro,
     build_urban_campus,
@@ -38,6 +39,7 @@ __all__ = [
     "build_sensor_failure_storm",
     "build_high_density",
     "build_sharded_metro",
+    "build_jittery_corridor",
     "SIZE_PRESETS",
     "ScenarioSpec",
     "register_scenario",

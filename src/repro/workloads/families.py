@@ -66,6 +66,7 @@ __all__ = [
     "build_sensor_failure_storm",
     "build_high_density",
     "build_sharded_metro",
+    "build_jittery_corridor",
 ]
 
 
@@ -737,6 +738,168 @@ def build_high_density(
             "spacing": spacing,
         },
         handles={"field": field, "shutter_log": shutter_log},
+    )
+
+
+# ----------------------------------------------------------------------
+# jittery corridor: a fabric that genuinely delivers out of order
+# ----------------------------------------------------------------------
+
+def build_jittery_corridor(
+    seed: int = 0,
+    rows: int = 3,
+    cols: int = 10,
+    spacing: float = 10.0,
+    detect_range: float = 9.0,
+    sampling_period: int = 3,
+    drone_speed: float = 0.8,
+    jitter_backoff: int = 6,
+    horizon: int = 360,
+    cluster_window_rounds: int = 8,
+    cluster_cooldown_rounds: int = 2,
+    use_planner: bool = True,
+    shards: int = 1,
+    partition: str = "grid",
+) -> Scenario:
+    """A patrol drone on a corridor whose radio reorders deliveries.
+
+    The event-time workload the streaming runtime exists for: every hop
+    of the WSN adds a large uniform CSMA backoff (``jitter_backoff``
+    ticks per attempt), so two sightings taken one round apart routinely
+    arrive at the sink swapped — sensor events reach the observer out
+    of *event-time* order even though the simulator's clock (and hence
+    every engine submission) stays monotone.  The sink fuses pairs of
+    close-by sightings into ``drone_cluster`` composites over a window
+    wide enough to absorb the transport jitter; the CCU promotes
+    confident clusters to ``corridor_alert`` and lights a beacon.
+
+    The stream-conformance suite captures this scenario's sink/CCU
+    feeds, verifies they are genuinely disordered, and replays them —
+    with additional seeded jitter — through
+    :class:`~repro.stream.runtime.StreamingDetectionRuntime` against
+    the golden digest.
+    """
+    system = CPSSystem(
+        seed=seed, use_planner=use_planner, shards=shards, partition=partition
+    )
+    width = (cols - 1) * spacing
+    mid_y = (rows - 1) * spacing / 2.0
+    drone = PhysicalObject(
+        "drone",
+        PatrolTrajectory(
+            [PointLocation(0.0, mid_y), PointLocation(width, mid_y)],
+            speed=drone_speed,
+        ),
+    )
+    system.world.add_object(drone)
+    beacon_log: list[int] = []
+    system.world.on_actuation(
+        "beacon", lambda payload, tick: beacon_log.append(tick)
+    )
+
+    topology = grid_topology(rows, cols, spacing, UnitDiskRadio(spacing * 1.6))
+    sink_name = "MT0_0"
+    # The jitter fabric: per-attempt backoff up to ``jitter_backoff``
+    # ticks on every hop.  Far motes traverse more hops than near ones
+    # and every packet draws its own delays, so delivery order at the
+    # sink decorrelates from sampling order — real disorder, not a
+    # synthetic shuffle.
+    system.build_sensor_network(
+        topology,
+        sink_names=[sink_name],
+        backoff_ticks=jitter_backoff,
+    )
+
+    drone_seen = EventSpecification(
+        event_id="drone_seen",
+        selectors={"x": EntitySelector(kinds={"range:drone"})},
+        condition=AttributeCondition(
+            "last", (AttributeTerm("x", "range:drone"),),
+            RelationalOp.LT, detect_range,
+        ),
+        window=0,
+        cooldown=sampling_period,
+        output=OutputPolicy(
+            attributes=(
+                OutputAttribute(
+                    "range:drone", "last",
+                    (AttributeTerm("x", "range:drone"),),
+                ),
+            )
+        ),
+    )
+    for name in topology.names:
+        if name == sink_name:
+            continue
+        system.add_mote(
+            name,
+            [
+                RangeSensor(
+                    "SRd", "drone",
+                    system.sim.rng.stream(f"{name}.drone"),
+                    noise_sigma=0.25, max_range=detect_range * 2.0,
+                )
+            ],
+            sampling_period=sampling_period,
+            specs=[drone_seen],
+        )
+
+    drone_cluster = EventSpecification(
+        event_id="drone_cluster",
+        selectors={
+            "a": EntitySelector(kinds={"drone_seen"}),
+            "b": EntitySelector(kinds={"drone_seen"}),
+        },
+        condition=all_of(
+            TemporalCondition(TimeOf("a"), TemporalOp.BEFORE, TimeOf("b")),
+            SpatialMeasureCondition(
+                "distance", ("a", "b"), RelationalOp.LT, 2.0 * spacing
+            ),
+        ),
+        window=cluster_window_rounds * sampling_period,
+        cooldown=cluster_cooldown_rounds * sampling_period,
+        output=OutputPolicy(time="latest", space="centroid", confidence="mean"),
+        description="two close drone sightings despite a reordering radio",
+    )
+    system.add_sink(sink_name, specs=[drone_cluster])
+
+    corridor_alert = EventSpecification(
+        event_id="corridor_alert",
+        selectors={"e": EntitySelector(kinds={"drone_cluster"})},
+        condition=ConfidenceCondition("e", RelationalOp.GE, 0.2),
+        window=0,
+        cooldown=10 * sampling_period,
+        output=OutputPolicy(time="latest", space="centroid"),
+    )
+    system.add_ccu(
+        "CCU1",
+        PointLocation(-12.0, -12.0),
+        specs=[corridor_alert],
+        rules=[
+            _alarm_rule(
+                "corridor_alert", "beacon", ("AR_beacon",),
+                {"zone": "corridor"}, 15 * sampling_period,
+            )
+        ],
+    )
+    system.add_dispatch("D1", PointLocation(-12.0, 0.0))
+    system.add_actor_mote(
+        "AR_beacon",
+        [Actuator("strobe", "beacon")],
+        location=PointLocation(width / 2.0, mid_y),
+    )
+    system.add_database("DB1")
+
+    return Scenario(
+        system=system,
+        params={
+            "detect_range": detect_range,
+            "sampling_period": sampling_period,
+            "horizon": horizon,
+            "spacing": spacing,
+            "jitter_backoff": jitter_backoff,
+        },
+        handles={"drone": drone, "beacon_log": beacon_log},
     )
 
 

@@ -27,6 +27,7 @@ from repro.core.errors import ReproError
 from repro.workloads.families import (
     build_convoy_pursuit,
     build_high_density,
+    build_jittery_corridor,
     build_sensor_failure_storm,
     build_sharded_metro,
     build_urban_campus,
@@ -287,6 +288,29 @@ register_scenario(
             "large": {"rows": 4, "cols": 28, "sampling_period": 2,
                       "horizon": 1800, "crossing_window_rounds": 50,
                       "crossing_cooldown_rounds": 0},
+        },
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="jittery_corridor",
+        builder=build_jittery_corridor,
+        description="heavy radio backoff delivers sightings out of event-time order",
+        layers=("reordering WSN", "mobility", "mote", "sink", "ccu", "actuation"),
+        paper_section="-",
+        presets={
+            "small": {"rows": 3, "cols": 10, "horizon": 360},
+            # Benchmark scale: a longer corridor, denser sampling and a
+            # wide uncooled pair window keep the sink's windows loaded
+            # while the fabric's jitter stays at full strength — the
+            # streaming-replay throughput workload behind BENCH_PR5.
+            "medium": {"rows": 3, "cols": 16, "sampling_period": 2,
+                       "horizon": 720, "cluster_window_rounds": 24,
+                       "cluster_cooldown_rounds": 0},
+            "large": {"rows": 4, "cols": 24, "sampling_period": 2,
+                      "horizon": 1500, "cluster_window_rounds": 30,
+                      "cluster_cooldown_rounds": 0},
         },
     )
 )

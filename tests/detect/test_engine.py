@@ -72,6 +72,56 @@ def pair_spec(window=10):
     )
 
 
+class TestMonotoneSubmission:
+    """Regression: a regressing ``now`` must raise, not corrupt state.
+
+    Window eviction and dedup head-pruning both assume non-decreasing
+    ticks; before the guard, a regressing submission silently corrupted
+    them.  Out-of-order streams belong in :mod:`repro.stream`'s reorder
+    buffer — the engine's contract is monotone event time.
+    """
+
+    def test_regressing_tick_raises(self):
+        engine = DetectionEngine([hot_spec(window=10)])
+        engine.submit(obs(tick=5, temp=50.0), now=5)
+        with pytest.raises(ObserverError, match="non-monotone"):
+            engine.submit(obs(tick=3, temp=50.0), now=3)
+
+    def test_equal_tick_is_fine(self):
+        engine = DetectionEngine([hot_spec(window=10)])
+        engine.submit(obs(seq=0, tick=5, temp=50.0), now=5)
+        engine.submit(obs(seq=1, tick=5, temp=30.0), now=5)
+        assert engine.low_watermark == 5
+
+    def test_watermark_tracks_submissions(self):
+        engine = DetectionEngine([hot_spec()])
+        assert engine.low_watermark is None
+        engine.submit(obs(temp=10.0), now=4)
+        assert engine.low_watermark == 4
+        engine.advance(9)
+        assert engine.low_watermark == 9
+        with pytest.raises(ObserverError, match="advance"):
+            engine.advance(7)
+
+    def test_clear_resets_watermark(self):
+        engine = DetectionEngine([hot_spec()])
+        engine.submit(obs(temp=10.0), now=8)
+        engine.clear()
+        assert engine.low_watermark is None
+        engine.submit(obs(temp=10.0), now=0)  # fresh stream accepted
+
+    def test_failed_guard_leaves_state_untouched(self):
+        engine = DetectionEngine([hot_spec(window=10)])
+        engine.submit(obs(seq=0, tick=5, temp=50.0), now=5)
+        before = engine.stats.entities_submitted
+        with pytest.raises(ObserverError):
+            engine.submit(obs(seq=1, tick=2, temp=50.0), now=2)
+        assert engine.stats.entities_submitted == before
+        # The engine keeps working after the rejected batch.
+        matches = engine.submit(obs(seq=2, tick=6, temp=50.0), now=6)
+        assert len(matches) == 1
+
+
 class TestSingleRole:
     def test_match_on_satisfying_entity(self):
         engine = DetectionEngine([hot_spec()])

@@ -49,3 +49,9 @@ class TestExamples:
         out = run_example("edl_study.py")
         assert "sim CP" in out
         assert "5x5" in out
+
+    def test_streaming_replay(self):
+        out = run_example("streaming_replay.py")
+        assert "identical to live run: True" in out
+        assert "identical remaining stream: True" in out
+        assert "counted and retained" in out

@@ -1,0 +1,288 @@
+"""Unit tests for engine snapshot/restore and runtime checkpoints."""
+
+import pytest
+
+from repro.core.composite import all_of
+from repro.core.conditions import (
+    AttributeCondition,
+    AttributeTerm,
+    SpatialMeasureCondition,
+    TemporalCondition,
+    TimeOf,
+)
+from repro.core.errors import ObserverError
+from repro.core.instance import PhysicalObservation
+from repro.core.operators import RelationalOp, TemporalOp
+from repro.core.space_model import BoundingBox, PointLocation
+from repro.core.spec import EntitySelector, EventSpecification
+from repro.core.time_model import TimePoint
+from repro.detect.engine import DetectionEngine
+from repro.shard.engine import ShardedDetectionEngine
+from repro.stream import (
+    JitteredSource,
+    ReplaySource,
+    StreamingDetectionRuntime,
+)
+from repro.stream.runtime import arrival_groups
+
+BOUNDS = BoundingBox(0.0, 0.0, 100.0, 10.0)
+
+
+def obs(seq, tick, x=0.0, temp=50.0):
+    return PhysicalObservation(
+        f"MT{seq}", "SR1", seq, TimePoint(tick), PointLocation(x, 0.0),
+        {"temp": temp},
+    )
+
+
+def pair_spec(window=15, cooldown=0):
+    return EventSpecification(
+        event_id="pair",
+        selectors={
+            "a": EntitySelector(kinds={"temp"}),
+            "b": EntitySelector(kinds={"temp"}),
+        },
+        condition=all_of(
+            TemporalCondition(TimeOf("a"), TemporalOp.BEFORE, TimeOf("b")),
+            SpatialMeasureCondition(
+                "distance", ("a", "b"), RelationalOp.LT, 12.0
+            ),
+        ),
+        window=window,
+        cooldown=cooldown,
+    )
+
+
+def hot_spec(cooldown=6):
+    return EventSpecification(
+        event_id="hot",
+        selectors={"x": EntitySelector(kinds={"temp"})},
+        condition=AttributeCondition(
+            "last", (AttributeTerm("x", "temp"),), RelationalOp.GT, 40.0
+        ),
+        window=0,
+        cooldown=cooldown,
+    )
+
+
+def stream(n):
+    return [(tick, [obs(tick, tick, x=float(tick % 20))]) for tick in range(n)]
+
+
+def feed(engine, batches):
+    out = []
+    for tick, entities in batches:
+        out.extend(
+            (m.spec.event_id, m.tick, frozenset(m.binding))
+            for m in engine.submit_batch(entities, tick)
+        )
+    return out
+
+
+class TestEngineSnapshotRestore:
+    def test_resumed_engine_matches_uninterrupted(self):
+        batches = stream(40)
+        specs = lambda: [pair_spec(), hot_spec()]  # noqa: E731
+        uninterrupted = DetectionEngine(specs())
+        full = feed(uninterrupted, batches)
+
+        first = DetectionEngine(specs())
+        head = feed(first, batches[:23])
+        snapshot = first.snapshot()
+        resumed = DetectionEngine(specs())
+        resumed.restore(snapshot)
+        tail = feed(resumed, batches[23:])
+        assert head + tail == full
+
+    def test_snapshot_does_not_disturb_source_engine(self):
+        batches = stream(30)
+        engine = DetectionEngine([pair_spec()])
+        head = feed(engine, batches[:15])
+        engine.snapshot()
+        tail = feed(engine, batches[15:])
+        reference = DetectionEngine([pair_spec()])
+        assert head + tail == feed(reference, batches)
+
+    def test_restore_carries_cooldown_clock(self):
+        engine = DetectionEngine([hot_spec(cooldown=10)])
+        engine.submit(obs(0, 0), now=0)  # matches, starts cooldown
+        snapshot = engine.snapshot()
+        resumed = DetectionEngine([hot_spec(cooldown=10)])
+        resumed.restore(snapshot)
+        assert resumed.submit(obs(1, 5), now=5) == []  # still cooling
+        assert len(resumed.submit(obs(2, 12), now=12)) == 1
+
+    def test_restore_carries_dedup_state(self):
+        engine = DetectionEngine([pair_spec(window=30)])
+        a, b = obs(0, 0), obs(1, 1)
+        engine.submit(a, now=0)
+        assert len(engine.submit(b, now=1)) == 1
+        snapshot = engine.snapshot()
+        resumed = DetectionEngine([pair_spec(window=30)])
+        resumed.restore(snapshot)
+        # The (a, b) binding is already seen; a new arrival only pairs
+        # with the window content, never re-emitting the old match.
+        matches = resumed.submit(obs(2, 2), now=2)
+        keys = {
+            tuple(sorted(e.seq for e in m.entities())) for m in matches
+        }
+        assert (0, 1) not in keys
+
+    def test_restore_carries_watermark(self):
+        engine = DetectionEngine([hot_spec(cooldown=0)])
+        engine.submit(obs(0, 9), now=9)
+        resumed = DetectionEngine([hot_spec(cooldown=0)])
+        resumed.restore(engine.snapshot())
+        assert resumed.low_watermark == 9
+        with pytest.raises(ObserverError, match="non-monotone"):
+            resumed.submit(obs(1, 3), now=3)
+
+    def test_restore_carries_stats(self):
+        engine = DetectionEngine([hot_spec(cooldown=0)])
+        feed(engine, stream(10))
+        resumed = DetectionEngine([hot_spec(cooldown=0)])
+        resumed.restore(engine.snapshot())
+        assert resumed.stats.entities_submitted == 10
+        assert resumed.stats.matches == engine.stats.matches
+
+    def test_spec_mismatch_rejected(self):
+        engine = DetectionEngine([hot_spec()])
+        snapshot = engine.snapshot()
+        other = DetectionEngine([pair_spec()])
+        with pytest.raises(ObserverError, match="watches"):
+            other.restore(snapshot)
+
+
+class TestShardedSnapshotRestore:
+    def make(self, shards=4):
+        return ShardedDetectionEngine(
+            [pair_spec(), hot_spec()], bounds=BOUNDS, shards=shards
+        )
+
+    def test_resumed_sharded_matches_uninterrupted(self):
+        batches = stream(40)
+        full = feed(self.make(), batches)
+        first = self.make()
+        head = feed(first, batches[:19])
+        resumed = self.make()
+        resumed.restore(first.snapshot())
+        tail = feed(resumed, batches[19:])
+        assert head + tail == full
+
+    def test_min_merged_watermark_advances_with_idle_shards(self):
+        engine = self.make()
+        assert engine.low_watermark is None
+        # One observation only routes to some shards; advance() keeps
+        # the rest moving, so the min-merge tracks the stream.
+        engine.submit(obs(0, 0, x=1.0), now=0)
+        assert engine.low_watermark == 0
+        engine.submit(obs(1, 7, x=99.0), now=7)
+        assert engine.low_watermark == 7
+
+    def test_shard_count_mismatch_rejected(self):
+        snapshot = self.make(shards=4).snapshot()
+        with pytest.raises(ObserverError, match="shards"):
+            self.make(shards=2).restore(snapshot)
+
+    def test_partition_layout_mismatch_rejected(self):
+        # Same shard count, different spatial layout: the restored
+        # windows would hold entities placed by the old router.
+        snapshot = self.make().snapshot()
+        stripes = ShardedDetectionEngine(
+            [pair_spec(), hot_spec()],
+            bounds=BOUNDS,
+            shards=4,
+            partition="stripes",
+        )
+        with pytest.raises(ObserverError, match="layout"):
+            stripes.restore(snapshot)
+        other_bounds = ShardedDetectionEngine(
+            [pair_spec(), hot_spec()],
+            bounds=BoundingBox(0.0, 0.0, 50.0, 50.0),
+            shards=4,
+        )
+        with pytest.raises(ObserverError, match="layout"):
+            other_bounds.restore(snapshot)
+
+    def test_regressing_tick_rejected_before_any_mutation(self):
+        engine = self.make()
+        engine.submit(obs(0, 5), now=5)
+        entities = engine.stats.entities_submitted
+        stamps = dict(engine._seq_map)
+        with pytest.raises(ObserverError, match="non-monotone"):
+            engine.submit(obs(1, 3), now=3)
+        # The rejected batch left no trace: no stamps, no counters.
+        assert engine.stats.entities_submitted == entities
+        assert dict(engine._seq_map) == stamps
+        # The engine keeps working afterwards.
+        engine.submit(obs(2, 6), now=6)
+        assert engine.low_watermark == 6
+
+
+class TestRuntimeCheckpoint:
+    def test_mid_stream_checkpoint_resumes_identically(self):
+        source = ReplaySource(stream(50), name="t")
+        jittered = JitteredSource(source, max_delay=5, seed=4)
+        groups = list(arrival_groups(jittered))
+        half = len(groups) // 2
+
+        def runtime():
+            r = StreamingDetectionRuntime(
+                DetectionEngine([pair_spec(), hot_spec()]), lateness=5
+            )
+            r.register_source("t")
+            return r
+
+        first = runtime()
+        for _, group in groups[:half]:
+            first.ingest(group)
+        checkpoint = first.snapshot()
+        tail_expected = []
+        for _, group in groups[half:]:
+            tail_expected.extend(first.ingest(group))
+        tail_expected.extend(first.finish())
+
+        resumed = runtime()
+        resumed.restore(checkpoint)
+        tail = []
+        for _, group in groups[half:]:
+            tail.extend(resumed.ingest(group))
+        tail.extend(resumed.finish())
+        assert [(m.spec.event_id, m.tick, m.binding) for m in tail] == [
+            (m.spec.event_id, m.tick, m.binding) for m in tail_expected
+        ]
+        assert resumed.stats.entities_submitted == first.stats.entities_submitted
+        # Conservation survives the resume: the checkpoint carries the
+        # released counter, so after finish() everything buffered was
+        # accounted released and the totals match the uninterrupted run.
+        assert resumed.released_items == resumed.stats.entities_submitted
+        assert resumed.released_items == first.released_items
+        # Rewinding the continued runtime also resets the counter.
+        first.restore(checkpoint)
+        assert first.released_items == checkpoint.released_items
+
+    def test_checkpoint_preserves_buffered_disorder(self):
+        runtime = StreamingDetectionRuntime(None, lateness=10)
+        runtime.register_source("t")
+        base = ReplaySource(stream(12), name="t")
+        items = list(base)
+        runtime.ingest(items[:8])  # bound 10: everything still buffered
+        assert runtime.buffer.occupancy > 0
+        checkpoint = runtime.snapshot()
+        resumed = StreamingDetectionRuntime(None, lateness=10)
+        released = []
+        resumed.on_release = lambda tick, group: released.extend(
+            item.seq for item in group
+        )
+        resumed.restore(checkpoint)
+        resumed.ingest(items[8:])
+        resumed.finish()
+        assert released == list(range(12))
+
+    def test_engine_presence_must_match(self):
+        with_engine = StreamingDetectionRuntime(
+            DetectionEngine([hot_spec()]), lateness=1
+        )
+        engineless = StreamingDetectionRuntime(None, lateness=1)
+        with pytest.raises(ObserverError, match="engine"):
+            engineless.restore(with_engine.snapshot())

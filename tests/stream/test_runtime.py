@@ -1,0 +1,191 @@
+"""Unit tests for the streaming detection runtime."""
+
+import pytest
+
+from repro.core.composite import all_of
+from repro.core.conditions import (
+    AttributeCondition,
+    AttributeTerm,
+    SpatialMeasureCondition,
+    TemporalCondition,
+    TimeOf,
+)
+from repro.core.errors import ObserverError
+from repro.core.instance import PhysicalObservation
+from repro.core.operators import RelationalOp, TemporalOp
+from repro.core.space_model import PointLocation
+from repro.core.spec import EntitySelector, EventSpecification
+from repro.core.time_model import TimePoint
+from repro.detect.engine import DetectionEngine
+from repro.stream import (
+    JitteredSource,
+    ReplaySource,
+    StreamingDetectionRuntime,
+    StreamItem,
+)
+from repro.stream.runtime import arrival_groups
+
+
+def obs(seq, tick, x=0.0, temp=50.0):
+    return PhysicalObservation(
+        f"MT{seq}", "SR1", seq, TimePoint(tick), PointLocation(x, 0.0),
+        {"temp": temp},
+    )
+
+
+def pair_spec(window=20):
+    return EventSpecification(
+        event_id="pair",
+        selectors={
+            "a": EntitySelector(kinds={"temp"}),
+            "b": EntitySelector(kinds={"temp"}),
+        },
+        condition=all_of(
+            TemporalCondition(TimeOf("a"), TemporalOp.BEFORE, TimeOf("b")),
+            SpatialMeasureCondition(
+                "distance", ("a", "b"), RelationalOp.LT, 10.0
+            ),
+        ),
+        window=window,
+    )
+
+
+def hot_spec(cooldown=0):
+    return EventSpecification(
+        event_id="hot",
+        selectors={"x": EntitySelector(kinds={"temp"})},
+        condition=AttributeCondition(
+            "last", (AttributeTerm("x", "temp"),), RelationalOp.GT, 40.0
+        ),
+        window=0,
+        cooldown=cooldown,
+    )
+
+
+def batches(n, period=1):
+    return [(tick * period, [obs(tick, tick * period)]) for tick in range(n)]
+
+
+class TestArrivalGroups:
+    def test_groups_by_arrival_tick(self):
+        source = ReplaySource([(0, ["a", "b"]), (0, ["c"]), (2, ["d"])])
+        groups = list(arrival_groups(source))
+        assert [(tick, len(items)) for tick, items in groups] == [(0, 3), (2, 1)]
+
+    def test_rejects_regressing_arrivals(self):
+        items = [
+            StreamItem(entity="a", event_tick=0, seq=0, arrival_tick=5),
+            StreamItem(entity="b", event_tick=0, seq=1, arrival_tick=3),
+        ]
+        with pytest.raises(ObserverError, match="arrival order"):
+            list(arrival_groups(items))
+
+
+class TestRuntimeOrdering:
+    def test_jittered_run_equals_inorder_run(self):
+        source = ReplaySource(batches(40), name="t")
+        inorder = StreamingDetectionRuntime(
+            DetectionEngine([pair_spec()]), lateness=6
+        )
+        expected = inorder.run(source)
+        jittered = StreamingDetectionRuntime(
+            DetectionEngine([pair_spec()]), lateness=6
+        )
+        got = jittered.run(JitteredSource(source, max_delay=6, seed=5))
+        assert [(m.spec.event_id, m.tick) for m in got] == [
+            (m.spec.event_id, m.tick) for m in expected
+        ]
+        assert [m.binding for m in got] == [m.binding for m in expected]
+        assert jittered.stats.late_observations == 0
+        assert jittered.stats.entities_submitted == 40
+        assert jittered.stats.reorder_peak >= 1
+
+    def test_cooldown_behavior_preserved_under_jitter(self):
+        source = ReplaySource(batches(30), name="t")
+        inorder = StreamingDetectionRuntime(
+            DetectionEngine([hot_spec(cooldown=4)]), lateness=5
+        )
+        expected = [m.tick for m in inorder.run(source)]
+        jittered = StreamingDetectionRuntime(
+            DetectionEngine([hot_spec(cooldown=4)]), lateness=5
+        )
+        got = [
+            m.tick for m in jittered.run(JitteredSource(source, 5, seed=2))
+        ]
+        assert got == expected
+
+    def test_engineless_pipeline_releases_in_order(self):
+        released = []
+        runtime = StreamingDetectionRuntime(
+            None,
+            lateness=4,
+            on_release=lambda tick, items: released.extend(
+                item.seq for item in items
+            ),
+        )
+        source = ReplaySource(batches(25), name="t")
+        runtime.run(JitteredSource(source, 4, seed=7))
+        assert released == list(range(25))
+
+    def test_on_match_fires_in_emission_order(self):
+        seen = []
+        runtime = StreamingDetectionRuntime(
+            DetectionEngine([hot_spec()]),
+            lateness=3,
+            on_match=lambda match: seen.append(match.tick),
+        )
+        matches = runtime.run(
+            JitteredSource(ReplaySource(batches(12), name="t"), 3, seed=1)
+        )
+        assert seen == [m.tick for m in matches] == sorted(seen)
+
+
+class TestRuntimeLateness:
+    def test_beyond_bound_jitter_is_counted_not_dropped(self):
+        source = ReplaySource(batches(60), name="t")
+        runtime = StreamingDetectionRuntime(None, lateness=2)
+        # Jitter up to 12 against a bound of 2: lates are likely.
+        runtime.run(JitteredSource(source, 12, seed=3))
+        assert runtime.stats.late_observations == len(runtime.late_items) > 0
+        # Conservation: everything offered is either released or late.
+        assert runtime.released_items + runtime.stats.late_observations == 60
+
+    def test_within_bound_jitter_never_late(self):
+        source = ReplaySource(batches(60), name="t")
+        for seed in range(5):
+            runtime = StreamingDetectionRuntime(None, lateness=9)
+            runtime.run(JitteredSource(source, 9, seed=seed))
+            assert runtime.stats.late_observations == 0
+            assert runtime.released_items == 60
+
+    def test_close_source_releases_held_frontier(self):
+        released = []
+        runtime = StreamingDetectionRuntime(
+            None,
+            lateness=0,
+            on_release=lambda tick, group: released.extend(
+                item.seq for item in group
+            ),
+        )
+        runtime.register_source("live")
+        runtime.register_source("exhausted")
+        items = list(ReplaySource(batches(6), name="live"))
+        runtime.ingest(items[:3])
+        # The silent second source pins the watermark: nothing released.
+        assert released == []
+        runtime.close_source("exhausted")
+        assert released == [0, 1, 2]  # frontier handed to the live source
+        runtime.ingest(items[3:])
+        runtime.finish()
+        assert released == list(range(6))
+
+    def test_throughput_counters_populated(self):
+        runtime = StreamingDetectionRuntime(
+            DetectionEngine([hot_spec()]), lateness=3
+        )
+        runtime.run(JitteredSource(ReplaySource(batches(30), name="t"), 3))
+        stats = runtime.stats
+        assert stats.evaluation_time_s > 0
+        assert stats.observations_per_s > 0
+        assert stats.batches_submitted > 0
+        assert stats.matches == 30

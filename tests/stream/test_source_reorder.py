@@ -1,0 +1,148 @@
+"""Unit tests for stream sources and the bounded reorder buffer."""
+
+import pytest
+
+from repro.core.errors import ObserverError
+from repro.stream import JitteredSource, ReorderBuffer, ReplaySource, StreamItem
+
+
+def item(tick, seq, arrival=None, source="s"):
+    return StreamItem(
+        entity=("obs", seq),
+        event_tick=tick,
+        seq=seq,
+        arrival_tick=tick if arrival is None else arrival,
+        source=source,
+    )
+
+
+class TestStreamItem:
+    def test_arrival_before_event_rejected(self):
+        with pytest.raises(ObserverError, match="before it occurred"):
+            item(5, 0, arrival=4)
+
+    def test_order_key(self):
+        assert item(3, 7).order_key == (3, 7)
+
+
+class TestReplaySource:
+    def test_yields_in_order_with_global_seqs(self):
+        source = ReplaySource([(1, ["a", "b"]), (4, ["c"])], name="tap")
+        items = list(source)
+        assert [(i.event_tick, i.seq, i.entity) for i in items] == [
+            (1, 0, "a"), (1, 1, "b"), (4, 2, "c"),
+        ]
+        assert all(i.arrival_tick == i.event_tick for i in items)
+        assert all(i.source == "tap" for i in items)
+
+    def test_regressing_batches_rejected(self):
+        with pytest.raises(ObserverError, match="regress"):
+            ReplaySource([(4, ["a"]), (2, ["b"])])
+
+
+class TestJitteredSource:
+    def test_delays_bounded_and_deterministic(self):
+        base = ReplaySource([(t, [f"e{t}"]) for t in range(50)])
+        first = JitteredSource(base, max_delay=5, seed=11)
+        second = JitteredSource(base, max_delay=5, seed=11)
+        assert [i.arrival_tick for i in first] == [
+            i.arrival_tick for i in second
+        ]
+        for jittered in first:
+            assert 0 <= jittered.arrival_tick - jittered.event_tick <= 5
+
+    def test_arrival_order_nondecreasing(self):
+        base = ReplaySource([(t, ["x", "y"]) for t in range(0, 60, 2)])
+        arrivals = [i.arrival_tick for i in JitteredSource(base, 7, seed=3)]
+        assert arrivals == sorted(arrivals)
+
+    def test_zero_delay_is_identity(self):
+        base = ReplaySource([(t, ["x"]) for t in range(10)])
+        assert not JitteredSource(base, 0, seed=9).is_shuffled()
+
+    def test_dense_stream_shuffles(self):
+        base = ReplaySource([(t, ["x"]) for t in range(100)])
+        assert JitteredSource(base, 6, seed=1).is_shuffled()
+
+    def test_negative_delay_rejected(self):
+        base = ReplaySource([(0, ["x"])])
+        with pytest.raises(ObserverError):
+            JitteredSource(base, -1)
+
+
+class TestReorderBuffer:
+    def test_releases_in_event_time_order(self):
+        buffer = ReorderBuffer()
+        for it in (item(5, 2), item(3, 0), item(4, 1), item(9, 3)):
+            assert buffer.offer(it)
+        released = buffer.release(5)
+        assert [i.order_key for i in released] == [(3, 0), (4, 1), (5, 2)]
+        assert buffer.occupancy == 1
+        assert buffer.released_through == 5
+
+    def test_cross_source_key_ties_never_compare_items(self):
+        # Two sources both start at seq 0: identical (event_tick, seq)
+        # keys must fall back to the insertion counter, not to
+        # comparing StreamItems (which define no ordering).
+        buffer = ReorderBuffer()
+        first = item(5, 0, source="a")
+        second = item(5, 0, source="b")
+        assert buffer.offer(first)
+        assert buffer.offer(second)
+        assert buffer.release(5) == [first, second]  # arrival order
+
+    def test_cross_source_tie_survives_restore(self):
+        buffer = ReorderBuffer()
+        buffer.offer(item(5, 0, source="a"))
+        buffer.offer(item(5, 0, source="b"))
+        clone = ReorderBuffer()
+        clone.restore(buffer.pending(), [], None)
+        clone.offer(item(5, 0, source="c"))
+        assert [i.source for i in clone.release_all()] == ["a", "b", "c"]
+
+    def test_same_tick_ties_break_by_seq(self):
+        buffer = ReorderBuffer()
+        buffer.offer(item(2, 5))
+        buffer.offer(item(2, 1))
+        buffer.offer(item(2, 3))
+        assert [i.seq for i in buffer.release(2)] == [1, 3, 5]
+
+    def test_late_items_counted_never_dropped(self):
+        buffer = ReorderBuffer()
+        buffer.offer(item(1, 0))
+        buffer.offer(item(8, 1))
+        buffer.release(5)
+        straggler = item(4, 2, arrival=20)
+        assert not buffer.offer(straggler)
+        assert buffer.late == [straggler]
+        assert buffer.late_count == 1
+        # Still releasable content is unaffected.
+        assert [i.seq for i in buffer.release_all()] == [1]
+
+    def test_frontier_is_monotone(self):
+        buffer = ReorderBuffer()
+        buffer.offer(item(3, 0))
+        buffer.release(10)
+        assert buffer.release(7) == []
+        assert buffer.released_through == 10
+
+    def test_peak_occupancy_high_water(self):
+        buffer = ReorderBuffer()
+        for seq in range(4):
+            buffer.offer(item(10 + seq, seq))
+        buffer.release(13)
+        buffer.offer(item(20, 9))
+        assert buffer.peak_occupancy == 4
+
+    def test_pending_and_restore_round_trip(self):
+        buffer = ReorderBuffer()
+        for it in (item(7, 1), item(6, 0), item(9, 2)):
+            buffer.offer(it)
+        buffer.release(6)
+        clone = ReorderBuffer()
+        clone.restore(
+            buffer.pending(), buffer.late, buffer.released_through,
+            buffer.peak_occupancy,
+        )
+        assert [i.order_key for i in clone.release_all()] == [(7, 1), (9, 2)]
+        assert clone.peak_occupancy == buffer.peak_occupancy
