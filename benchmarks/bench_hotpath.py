@@ -1,4 +1,4 @@
-"""E12/E13/E14 — engine hot path, shard scaling and streaming replay.
+"""E12–E15 — hot path, shard scaling, streaming replay, bounded ingest.
 
 Two faces:
 
@@ -6,22 +6,27 @@ Two faces:
   compiled-vs-interpreted rows with deterministic assertions (equal
   instance emission, fewer-or-equal bindings, nonzero predicate-cache
   hit rate), the selector-routing micro-benchmark row, the E13
-  sharded-vs-single rows (equal emission, exact match counts), and the
+  sharded-vs-single rows (equal emission, exact match counts), the
   E14 streaming-replay rows (sustained observations/second through the
   reorder buffer, in-order vs jittered, exactness asserted inside the
-  harness);
+  harness), and the E15 bounded-ingestion rows (per-policy shedding
+  recall against the unshedded golden replay, conservation and the
+  occupancy cap asserted inside the harness);
 * **CLI** (``python benchmarks/bench_hotpath.py [--quick] [--out F]``):
   writes the JSON perf report.  Full runs produce the tracked
-  ``BENCH_PR5.json``: the E12 compiled-vs-interpreted matrix over every
+  ``BENCH_PR7.json``: the E12 compiled-vs-interpreted matrix over every
   registered scenario's *medium* preset, the E13 shard-scaling sweep
-  (1/2/4/8 shards on ``high_density`` and ``sharded_metro`` medium) and
+  (1/2/4/8 shards on ``high_density`` and ``sharded_metro`` medium),
   the E14 streaming section (``jittery_corridor`` + ``high_density``
-  medium, shards 1 and 4).  ``--quick`` is the CI smoke mode — small
-  subsets with hard failures if the compiled path is slower than the
-  interpreted one, the memo cache never hits, the sharded backend is
-  slower than the single-engine (naive) detection path, or jittered
-  streaming replay costs more than ``STREAM_GATE_OVERHEAD`` times the
-  in-order replay.
+  medium, shards 1 and 4) and the E15 admission section
+  (``overload_surge`` medium: unbounded golden, capped replays per
+  shedding policy, paced-vs-unpaced rate limiting).  ``--quick`` is
+  the CI smoke mode — small subsets with hard failures if the compiled
+  path is slower than the interpreted one, the memo cache never hits,
+  the sharded backend is slower than the single-engine (naive)
+  detection path, jittered streaming replay costs more than
+  ``STREAM_GATE_OVERHEAD`` times the in-order replay, or every
+  shedding policy's recall falls below ``ADMISSION_GATE_RECALL``.
 """
 
 import argparse
@@ -42,6 +47,12 @@ STREAM_GATE_SCENARIO = "jittery_corridor"
 STREAM_GATE_OVERHEAD = 2.0
 """Quick-mode ceiling on jittered-vs-inorder replay wall time: absorbing
 bounded disorder must not double the cost of the ordered stream."""
+
+ADMISSION_GATE_RECALL = 0.5
+"""Quick-mode floor on the *best* shedding policy's recall: capping the
+reorder buffer at half its unbounded peak must leave at least one
+policy that keeps half the golden matches — otherwise admission
+control is destroying detections, not trading them for memory."""
 
 
 # ----------------------------------------------------------------------
@@ -164,6 +175,49 @@ class TestE14StreamingReplay:
                     assert jittered["reorder_peak"] >= 1
 
 
+class TestE15BoundedAdmission:
+    def test_admission_rows(self, benchmark, report, quick):
+        preset = "small" if quick else "medium"
+        repeats = 1 if quick else 2
+
+        def run():
+            return report_harness.admission_report(
+                preset=preset, repeats=repeats
+            )
+
+        payload = benchmark.pedantic(run, rounds=1, iterations=1)
+        unbounded = payload["unbounded"]
+        report(
+            f"[E15] {payload['scenario']:<16} preset={preset:<6} "
+            f"tap={payload['tap']} obs={payload['observations']} "
+            f"unbounded peak={unbounded['reorder_peak']} "
+            f"cap={payload['cap']} matches={payload['golden_matches']}"
+        )
+        for policy, row in payload["policies"].items():
+            report(
+                f"[E15] {policy:<22} peak={row['reorder_peak']:<3} "
+                f"shed={row['shed']:<4} recall={row['recall']:.2f} "
+                f"({row['obs_per_s']:.0f} obs/s)"
+            )
+            # The cap, conservation and a nonzero shed count are
+            # asserted inside the harness; the rows pin the recall
+            # bookkeeping that stays noise-proof.
+            assert 0.0 <= row["recall"] <= 1.0
+            assert row["emitted"] <= payload["golden_matches"]
+        pacing = payload["pacing"]
+        report(
+            f"[E15] pacing rate={pacing['rate']} "
+            f"unpaced shed={pacing['unpaced']['shed']} vs "
+            f"paced shed={pacing['paced']['shed']} "
+            f"(throttles={pacing['paced']['throttles']}, "
+            f"reduction={pacing['shed_reduction']:.2f})"
+        )
+        assert pacing["paced"]["throttles"] > 0, (
+            "the paced leg never saw a backpressure signal — the "
+            "closed loop it exists to measure did not engage"
+        )
+
+
 # ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
@@ -180,8 +234,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--out",
-        default="BENCH_PR5.json",
-        help="output JSON path (default: BENCH_PR5.json)",
+        default="BENCH_PR7.json",
+        help="output JSON path (default: BENCH_PR7.json)",
     )
     parser.add_argument(
         "--skip-sharding",
@@ -192,6 +246,11 @@ def main(argv: list[str] | None = None) -> int:
         "--skip-streaming",
         action="store_true",
         help="omit the E14 streaming-replay section (and its gate)",
+    )
+    parser.add_argument(
+        "--skip-admission",
+        action="store_true",
+        help="omit the E15 bounded-ingestion section (and its gate)",
     )
     parser.add_argument(
         "--shard-repeats",
@@ -306,6 +365,48 @@ def main(argv: list[str] | None = None) -> int:
                         f"{STREAM_GATE_OVERHEAD}x the in-order replay "
                         f"(shards={count})"
                     )
+    if not args.skip_admission:
+        admission = report_harness.admission_report(
+            preset=preset, repeats=repeats
+        )
+        payload["admission"] = admission
+        unbounded = admission["unbounded"]
+        print(
+            f"{admission['scenario']:<22} {preset:<7} admission "
+            f"tap={admission['tap']} obs={admission['observations']} "
+            f"unbounded peak={unbounded['reorder_peak']} "
+            f"cap={admission['cap']} matches={admission['golden_matches']}"
+        )
+        for policy, row in admission["policies"].items():
+            print(
+                f"{'':<22} {preset:<7}   {policy:<22} "
+                f"peak={row['reorder_peak']:<3} shed={row['shed']:<4} "
+                f"recall={row['recall']:.2f}"
+            )
+        pacing = admission["pacing"]
+        print(
+            f"{'':<22} {preset:<7}   pacing rate={pacing['rate']} "
+            f"unpaced shed={pacing['unpaced']['shed']} "
+            f"paced shed={pacing['paced']['shed']} "
+            f"(reduction={pacing['shed_reduction']:.2f})"
+        )
+        if args.quick:
+            best_recall = max(
+                row["recall"] for row in admission["policies"].values()
+            )
+            if best_recall < ADMISSION_GATE_RECALL:
+                failures.append(
+                    f"{admission['scenario']}: every shedding policy's "
+                    f"recall fell below {ADMISSION_GATE_RECALL} "
+                    f"(best {best_recall:.2f}) with the reorder buffer "
+                    f"capped at {admission['cap']}"
+                )
+            if pacing["paced"]["shed"] > pacing["unpaced"]["shed"]:
+                failures.append(
+                    f"{admission['scenario']}: the paced source shed more "
+                    f"({pacing['paced']['shed']}) than the uncooperative "
+                    f"one ({pacing['unpaced']['shed']})"
+                )
     path = report_harness.write_report(args.out, payload)
     for name, row in payload["scenarios"].items():
         compiled = row["compiled"]

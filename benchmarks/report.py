@@ -47,6 +47,7 @@ __all__ = [
     "hotpath_report",
     "shard_scaling_report",
     "streaming_report",
+    "admission_report",
     "routing_microbench",
     "write_report",
 ]
@@ -57,6 +58,34 @@ runtime was built for, plus the window-pressure stress family."""
 
 STREAMING_LATENESS = 8
 """Lateness bound (and jitter max delay) of the streaming benchmark."""
+
+ADMISSION_SCENARIO = "overload_surge"
+"""Family the bounded-ingestion rows run: a plume surge that floods the
+whole grid at once, built to push reorder occupancy far past any
+reasonable bound so a cap below the measured unbounded peak is
+guaranteed to trigger measurable shedding."""
+
+ADMISSION_POLICIES = (
+    "drop_oldest_late",
+    "drop_lowest_priority",
+    "degrade_to_sampling",
+)
+"""Shedding policies whose recall cost the bounded rows quantify."""
+
+ADMISSION_RATE = 3.0
+"""Per-source token refill (observations per arrival tick) of the
+rate-limit pacing leg — well under the surge's per-tick fan-in."""
+
+ADMISSION_BURST = 6.0
+"""Token-bucket capacity of the pacing leg."""
+
+ADMISSION_MAX_DEFERRED = 16
+"""Deferral-queue bound of the pacing leg: past this depth over-rate
+arrivals are shed, which is exactly what a cooperating paced source
+should avoid."""
+
+ADMISSION_SLOWDOWN = 2
+"""Arrival-tick delay a paced source adds per backpressure signal."""
 
 SHARD_SCALING_SCENARIOS = ("high_density", "sharded_metro")
 """Families the shard-scaling rows run: the hash-grid stress workload
@@ -439,6 +468,196 @@ def streaming_report(
         "platform": platform.platform(),
         "scenarios": rows,
     }
+
+
+def admission_report(
+    name: str = ADMISSION_SCENARIO,
+    preset: str = "medium",
+    lateness: int = STREAMING_LATENESS,
+    repeats: int = 3,
+) -> dict:
+    """Bounded-ingestion rows (the BENCH_PR7 section).
+
+    One live run of the overload family with stream taps, then replays
+    of the busiest tap's jittered feed through the admission front end:
+
+    * ``unbounded`` — the golden run: no controller, exactness asserted
+      against the live emission (this is the recall denominator);
+    * ``zero_limit`` — a controller with *no* limits configured, which
+      must be byte-identical to no controller at all (zero shed, zero
+      deferrals, same emission) — asserted, not reported;
+    * one row per shedding policy — occupancy capped at half the
+      measured unbounded high-water mark, so shedding is guaranteed;
+      each row reports what was shed, what arrived late, the bounded
+      peak (asserted ``<= cap``) and **recall**: the multiset overlap
+      of emitted instance keys with the golden run's;
+    * ``pacing`` — the closed loop: the same rate limit replayed from a
+      fire-and-forget source and from a :class:`PacedSource` that
+      honors backpressure; a cooperating producer must shed no more
+      than the uncooperative one.
+
+    Conservation (``released + late + shed == offered``) is asserted on
+    every replay — a bounded run that loses observations off the books
+    fails the report instead of shipping a number.
+    """
+    from collections import Counter
+
+    from repro.stream import (
+        AdmissionController,
+        AdmissionLimits,
+        JitteredSource,
+        PacedSource,
+        ReplayObserver,
+        profile_of,
+    )
+
+    gc.collect()
+    scenario = build_scenario(name, preset=preset)
+    taps = scenario.system.attach_stream_taps()
+    scenario.system.run(until=scenario.params["horizon"])
+    tap_name = max(taps, key=lambda key: taps[key].observation_count)
+    tap = taps[tap_name]
+    observer = (
+        scenario.system.sinks.get(tap_name) or scenario.system.ccus[tap_name]
+    )
+    profile = profile_of(observer)
+    golden_keys = [i.key for i in observer.emitted]
+    golden_counter = Counter(golden_keys)
+    offered = tap.observation_count
+
+    def replay_once(
+        admission, paced: bool = False, expect_exact: bool = False
+    ) -> dict:
+        gc.collect()
+        source = JitteredSource(tap, max_delay=lateness, seed=0)
+        if paced:
+            source = PacedSource(source, slowdown=ADMISSION_SLOWDOWN)
+        replayer = ReplayObserver(
+            profile, lateness=lateness, admission=admission
+        )
+        start = time.perf_counter()
+        replayer.replay(source)
+        wall = time.perf_counter() - start
+        runtime = replayer.runtime
+        stats = runtime.stats
+        assert (
+            runtime.released_items
+            + runtime.buffer.late_count
+            + stats.shed_observations
+            == offered
+        ), (
+            f"{name}/{tap_name}: conservation broken — "
+            f"{runtime.released_items} released + "
+            f"{runtime.buffer.late_count} late + "
+            f"{stats.shed_observations} shed != {offered} offered"
+        )
+        if expect_exact:
+            assert stats.shed_observations == 0, (
+                f"{name}/{tap_name}: replay with no active limit shed "
+                f"{stats.shed_observations} observations"
+            )
+            assert stats.deferred_observations == 0
+            assert [i.key for i in replayer.emitted] == golden_keys, (
+                f"{name}/{tap_name}: unshedded replay diverged from the "
+                "live run"
+            )
+        emitted = Counter(i.key for i in replayer.emitted)
+        overlap = sum((emitted & golden_counter).values())
+        return {
+            "wall_s": round(wall, 6),
+            "obs_per_s": round(offered / wall, 1) if wall else 0.0,
+            "reorder_peak": stats.reorder_peak,
+            "shed": stats.shed_observations,
+            "late": runtime.buffer.late_count,
+            "deferred": stats.deferred_observations,
+            "backpressure_events": stats.backpressure_events,
+            "throttles": getattr(source, "throttle_count", 0),
+            "emitted": len(replayer.emitted),
+            "recall": round(overlap / len(golden_keys), 4)
+            if golden_keys
+            else 1.0,
+        }
+
+    def best_of(make_admission, paced: bool = False, **kwargs) -> dict:
+        best: dict | None = None
+        for _ in range(max(1, repeats)):
+            result = replay_once(make_admission(), paced=paced, **kwargs)
+            if best is None or result["wall_s"] < best["wall_s"]:
+                best = result
+        return best
+
+    unbounded = best_of(lambda: None, expect_exact=True)
+    zero_limit = best_of(AdmissionController, expect_exact=True)
+    cap = max(8, unbounded["reorder_peak"] // 2)
+    assert cap < unbounded["reorder_peak"], (
+        f"{name}/{tap_name}: unbounded peak {unbounded['reorder_peak']} "
+        f"leaves no room for a saturating cap — the overload family no "
+        f"longer overloads"
+    )
+
+    policies: dict[str, dict] = {}
+    for policy in ADMISSION_POLICIES:
+        row = best_of(
+            lambda: AdmissionController(
+                AdmissionLimits(max_pending=cap), shedding=policy
+            )
+        )
+        assert row["reorder_peak"] <= cap, (
+            f"{name}/{tap_name}/{policy}: bounded replay peaked at "
+            f"{row['reorder_peak']} over the {cap} cap"
+        )
+        assert row["shed"] > 0, (
+            f"{name}/{tap_name}/{policy}: the cap never triggered — "
+            "the row would measure nothing"
+        )
+        policies[policy] = row
+
+    rate_limits = AdmissionLimits(
+        rate=ADMISSION_RATE,
+        burst=ADMISSION_BURST,
+        max_deferred=ADMISSION_MAX_DEFERRED,
+    )
+    unpaced = best_of(lambda: AdmissionController(rate_limits))
+    paced = best_of(lambda: AdmissionController(rate_limits), paced=True)
+    assert unpaced["shed"] > 0, (
+        f"{name}/{tap_name}: the pacing leg's rate limit never shed — "
+        "paced-vs-unpaced would compare zeros"
+    )
+    assert paced["shed"] <= unpaced["shed"], (
+        f"{name}/{tap_name}: honoring backpressure shed MORE "
+        f"({paced['shed']} vs {unpaced['shed']})"
+    )
+
+    payload = {
+        "scenario": name,
+        "preset": preset,
+        "lateness": lateness,
+        "repeats": repeats,
+        "tap": tap_name,
+        "observations": offered,
+        "golden_matches": len(golden_keys),
+        "cap": cap,
+        "unbounded": unbounded,
+        "zero_limit": zero_limit,
+        "policies": policies,
+        "pacing": {
+            "rate": ADMISSION_RATE,
+            "burst": ADMISSION_BURST,
+            "max_deferred": ADMISSION_MAX_DEFERRED,
+            "slowdown": ADMISSION_SLOWDOWN,
+            "unpaced": unpaced,
+            "paced": paced,
+            "shed_reduction": round(
+                1.0 - paced["shed"] / unpaced["shed"], 4
+            )
+            if unpaced["shed"]
+            else 0.0,
+        },
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    del scenario, taps
+    return payload
 
 
 def routing_microbench(iterations: int = 50_000) -> dict:

@@ -10,7 +10,12 @@ with a stream tap, then:
 2. replays with jitter *beyond* the lateness bound and shows late
    observations are counted and reported, never silently dropped;
 3. checkpoints the replay mid-stream, restores into a fresh runtime and
-   engine, and shows the remaining instance stream is identical.
+   engine, and shows the remaining instance stream is identical;
+4. replays the ``overload_surge`` flood through a *bounded* runtime —
+   an admission controller caps reorder occupancy and sheds under
+   pressure with every loss on the books
+   (``released + late + shed == offered``), while a cooperating
+   :class:`PacedSource` honors backpressure and sheds nothing.
 
 Run:  PYTHONPATH=src python examples/streaming_replay.py
 """
@@ -20,7 +25,14 @@ import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
-from repro.stream import JitteredSource, ReplayObserver, profile_of
+from repro.stream import (
+    AdmissionController,
+    AdmissionLimits,
+    JitteredSource,
+    PacedSource,
+    ReplayObserver,
+    profile_of,
+)
 from repro.stream.runtime import arrival_groups
 from repro.workloads import build_scenario
 
@@ -98,6 +110,66 @@ def main() -> None:
     print(
         f"resumed replay re-emitted {len(resumed.trace_rows)} instances; "
         f"identical remaining stream: {resumed.trace_rows == tail}"
+    )
+
+    # -- 4) bounded ingestion under a genuine overload -----------------
+    surge = build_scenario("overload_surge", preset="small")
+    surge_taps = surge.system.attach_stream_taps()
+    surge.system.run(until=surge.params["horizon"])
+    surge_sink = surge.system.sinks[SINK]
+    surge_tap = surge_taps[SINK]
+    surge_profile = profile_of(surge_sink)
+
+    unbounded = ReplayObserver(surge_profile, lateness=LATENESS)
+    unbounded.replay(JitteredSource(surge_tap, max_delay=LATENESS, seed=7))
+    peak = unbounded.runtime.stats.reorder_peak
+    cap = max(8, peak // 2)
+    print(
+        f"overload_surge: {surge_tap.observation_count} observations, "
+        f"unbounded reorder peak {peak} — capping at {cap}"
+    )
+
+    bounded = ReplayObserver(
+        surge_profile,
+        lateness=LATENESS,
+        admission=AdmissionController(AdmissionLimits(max_pending=cap)),
+    )
+    bounded.replay(JitteredSource(surge_tap, max_delay=LATENESS, seed=7))
+    b_runtime = bounded.runtime
+    b_stats = b_runtime.stats
+    print(
+        f"bounded replay: peak={b_stats.reorder_peak} (cap held: "
+        f"{b_stats.reorder_peak <= cap}), "
+        f"shed={b_stats.shed_observations}, "
+        f"backpressure_events={b_stats.backpressure_events}, "
+        f"{len(bounded.emitted)}/{len(unbounded.emitted)} instances kept"
+    )
+    print(
+        f"conservation: {b_runtime.released_items} released + "
+        f"{b_runtime.buffer.late_count} late + "
+        f"{b_stats.shed_observations} shed "
+        f"= {surge_tap.observation_count} offered"
+    )
+
+    # A cooperating producer honors the backpressure signal instead of
+    # forcing the admission layer to shed: same rate limit, no losses.
+    limits = AdmissionLimits(rate=3.0, burst=6.0, max_deferred=16)
+    firehose = ReplayObserver(
+        surge_profile, lateness=LATENESS, admission=AdmissionController(limits)
+    )
+    firehose.replay(JitteredSource(surge_tap, max_delay=LATENESS, seed=7))
+    paced_source = PacedSource(
+        JitteredSource(surge_tap, max_delay=LATENESS, seed=7), slowdown=2
+    )
+    paced = ReplayObserver(
+        surge_profile, lateness=LATENESS, admission=AdmissionController(limits)
+    )
+    paced.replay(paced_source)
+    print(
+        f"rate-limited (3 obs/tick/source): firehose shed "
+        f"{firehose.runtime.stats.shed_observations}, paced source shed "
+        f"{paced.runtime.stats.shed_observations} after honoring "
+        f"{paced_source.throttle_count} backpressure signals"
     )
 
 

@@ -135,6 +135,16 @@ class EngineStats:
     reorder_peak: int = 0
     """High-water mark of the streaming reorder buffer's occupancy: the
     state a consumer had to hold to absorb the transport's disorder."""
+    shed_observations: int = 0
+    """Observations rejected by the admission layer under load — at the
+    occupancy cap (policy eviction or incoming shed) or on deferral-queue
+    overflow.  Always zero without an admission controller."""
+    deferred_observations: int = 0
+    """Observations parked by the per-source rate limiter to await
+    token-bucket refill (each counted once, when first deferred)."""
+    backpressure_events: int = 0
+    """Delivery steps that ended with the backpressure signal engaged —
+    the steps at which a cooperating source is asked to slow down."""
     evaluation_time_s: float = 0.0
     """Wall-clock seconds spent inside :meth:`DetectionEngine.submit_batch`
     (selector routing, window/index maintenance, enumeration and condition
@@ -179,6 +189,9 @@ class EngineStats:
             # Occupancy is a level, not a flow: the roll-up keeps the
             # worst single buffer, not a meaningless sum.
             total.reorder_peak = max(total.reorder_peak, part.reorder_peak)
+            total.shed_observations += part.shed_observations
+            total.deferred_observations += part.deferred_observations
+            total.backpressure_events += part.backpressure_events
             total.evaluation_time_s += part.evaluation_time_s
         return total
 

@@ -27,9 +27,23 @@ streaming toolkit:
   :class:`ReplayObserver`, reconstructing an observer's emitted
   instances (and their trace rows) from a replayed stream, which is how
   the stream-conformance suite proves jittered replay reproduces the
-  golden digests byte-for-byte.
+  golden digests byte-for-byte;
+* :mod:`repro.stream.admission` — bounded ingestion: per-source
+  token-bucket rate limits, priority classes, occupancy caps with
+  pluggable shedding policies, and backpressure signaling
+  (:class:`AdmissionController` installed via the runtime's
+  ``admission=`` argument).
 """
 
+from repro.stream.admission import (
+    AdmissionController,
+    AdmissionLimits,
+    AdmissionSnapshot,
+    Backpressure,
+    PacedSource,
+    Priority,
+    PriorityMap,
+)
 from repro.stream.capture import StreamTap
 from repro.stream.reorder import ReorderBuffer
 from repro.stream.replay import ObserverProfile, ReplayObserver, profile_of
@@ -60,4 +74,11 @@ __all__ = [
     "ObserverProfile",
     "ReplayObserver",
     "profile_of",
+    "AdmissionController",
+    "AdmissionLimits",
+    "AdmissionSnapshot",
+    "Backpressure",
+    "PacedSource",
+    "Priority",
+    "PriorityMap",
 ]

@@ -1,0 +1,289 @@
+"""The admission front end: rate limits, deferral, caps and accounting.
+
+An :class:`AdmissionController` sits between a delivery step and the
+reorder buffer, mempool-style.  Per delivery step it decides, for every
+observation, one of four fates — **admit** (offer to the buffer now),
+**defer** (hold in a bounded FIFO until the source's token bucket
+refills), **shed** (reject, counted, never silent) — with the fourth,
+**late**, decided downstream by the buffer's release frontier.  The
+controller also owns the policy consulted when the buffer is at its
+occupancy cap (:meth:`AdmissionController.make_room`), the per-class
+shed accounting, and the :class:`~repro.stream.admission.backpressure.Backpressure`
+signal handed back to producers.
+
+Everything is deterministic (tick-driven buckets, seedless policies)
+and everything is checkpointable: :meth:`AdmissionController.snapshot`
+captures deferred items, bucket levels, policy state and shed counters,
+so a :class:`~repro.stream.runtime.RuntimeCheckpoint` taken from an
+actively shedding runtime restores to an identical remaining stream.
+
+With no limits configured (the default :class:`AdmissionLimits`), the
+controller admits everything unconditionally — installing it is
+behavior-identical to running without one, which is what lets the
+golden-trace conformance suite pin that admission is a strict superset
+of the unbounded runtime.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.errors import ObserverError
+from repro.stream.admission.backpressure import Backpressure
+from repro.stream.admission.limiter import TokenBucket
+from repro.stream.admission.policy import SheddingPolicy, resolve_policy
+from repro.stream.admission.priority import PriorityMap
+from repro.stream.reorder import DEFAULT_LATE_RETENTION, ReorderBuffer
+from repro.stream.source import StreamItem
+
+__all__ = [
+    "AdmissionLimits",
+    "AdmissionController",
+    "AdmissionSnapshot",
+    "Intake",
+]
+
+
+@dataclass(frozen=True)
+class AdmissionLimits:
+    """The resource envelope the streaming runtime promises to hold.
+
+    Args:
+        max_pending: Reorder-buffer occupancy cap (``None`` =
+            unbounded).  At the cap the shedding policy picks who loses.
+        late_retention: Cap on *retained* late items (the exact late
+            count is never capped; see
+            :attr:`~repro.stream.reorder.ReorderBuffer.late_count`).
+        rate: Per-source token-bucket refill in admissions per arrival
+            tick (``None`` = no rate limiting).
+        burst: Per-source bucket capacity (largest co-arriving group
+            admitted after a quiet period).
+        max_deferred: Cap on the deferral FIFO holding over-rate
+            arrivals (``None`` = unbounded deferral; ``0`` = shed
+            immediately instead of deferring).
+        backpressure_ratio: Occupancy fraction of ``max_pending`` at
+            which the backpressure signal engages.
+    """
+
+    max_pending: int | None = None
+    late_retention: int | None = DEFAULT_LATE_RETENTION
+    rate: float | None = None
+    burst: float = 1.0
+    max_deferred: int | None = None
+    backpressure_ratio: float = 0.75
+
+    def __post_init__(self) -> None:
+        if self.max_pending is not None and self.max_pending < 0:
+            raise ObserverError(
+                f"max_pending cannot be negative: {self.max_pending}"
+            )
+        if self.max_deferred is not None and self.max_deferred < 0:
+            raise ObserverError(
+                f"max_deferred cannot be negative: {self.max_deferred}"
+            )
+        if not 0.0 < self.backpressure_ratio <= 1.0:
+            raise ObserverError(
+                "backpressure_ratio must be in (0, 1]: "
+                f"{self.backpressure_ratio}"
+            )
+        if self.rate is not None and self.rate <= 0:
+            raise ObserverError(f"rate must be positive: {self.rate}")
+
+
+@dataclass(frozen=True)
+class Intake:
+    """One delivery step's admission verdicts."""
+
+    admitted: tuple[StreamItem, ...]
+    shed: tuple[StreamItem, ...]
+    deferred: int
+    """Items newly parked in the deferral queue this step."""
+
+
+@dataclass(frozen=True)
+class AdmissionSnapshot:
+    """Checkpoint of a controller's mutable state (config excluded —
+    the restoring controller must be configured equivalently, like the
+    engine behind an :class:`~repro.detect.engine.EngineSnapshot`)."""
+
+    deferred: tuple[StreamItem, ...]
+    buckets: Mapping[str, tuple[float, int | None]]
+    policy_state: Mapping[str, int]
+    shed_by_priority: Mapping[str, int]
+
+
+@dataclass
+class AdmissionController:
+    """Per-source rate limiting, bounded deferral and measured shedding.
+
+    Args:
+        limits: The resource envelope (see :class:`AdmissionLimits`).
+        priorities: Admission classes per item (default: everything
+            ``OPERATIONAL``).
+        shedding: A :class:`~repro.stream.admission.policy.SheddingPolicy`
+            instance or built-in name (``drop_oldest_late`` /
+            ``drop_lowest_priority`` / ``degrade_to_sampling``).
+    """
+
+    limits: AdmissionLimits = field(default_factory=AdmissionLimits)
+    priorities: PriorityMap = field(default_factory=PriorityMap)
+    shedding: SheddingPolicy | str = "drop_oldest_late"
+
+    def __post_init__(self) -> None:
+        self.policy = resolve_policy(self.shedding)
+        self.policy_state: dict[str, int] = {}
+        self.shed_by_priority: dict[str, int] = {}
+        self._deferred: deque[StreamItem] = deque()
+        self._buckets: dict[str, TokenBucket] = {}
+
+    # -- intake --------------------------------------------------------
+
+    @property
+    def deferred_depth(self) -> int:
+        """Items currently parked in the deferral queue."""
+        return len(self._deferred)
+
+    @property
+    def shed_total(self) -> int:
+        """Observations shed so far, across every priority class."""
+        return sum(self.shed_by_priority.values())
+
+    def _bucket(self, source: str) -> TokenBucket:
+        bucket = self._buckets.get(source)
+        if bucket is None:
+            assert self.limits.rate is not None
+            bucket = TokenBucket(self.limits.rate, self.limits.burst)
+            self._buckets[source] = bucket
+        return bucket
+
+    def intake(self, items: Sequence[StreamItem]) -> Intake:
+        """Classify one delivery step: admit, defer or shed each item.
+
+        Previously deferred items are re-considered first (their
+        sources' buckets have refilled by the step's arrival tick), so
+        the deferral queue drains FIFO as capacity appears.  Shed items
+        are returned, not just counted — the caller owns the stream
+        counters, this controller owns the per-class breakdown.
+        """
+        admitted: list[StreamItem] = []
+        shed: list[StreamItem] = []
+        deferred_now = 0
+        if self.limits.rate is None:
+            admitted.extend(self._deferred)  # rate lifted: drain all
+            self._deferred.clear()
+            admitted.extend(items)
+            return Intake(tuple(admitted), (), 0)
+        if items and self._deferred:
+            now = items[0].arrival_tick
+            still: deque[StreamItem] = deque()
+            for item in self._deferred:
+                if self._bucket(item.source).try_take(now):
+                    admitted.append(item)
+                else:
+                    still.append(item)
+            self._deferred = still
+        for item in items:
+            if self._bucket(item.source).try_take(item.arrival_tick):
+                admitted.append(item)
+            elif (
+                self.limits.max_deferred is None
+                or len(self._deferred) < self.limits.max_deferred
+            ):
+                self._deferred.append(item)
+                deferred_now += 1
+            else:
+                self.note_shed(item)
+                shed.append(item)
+        return Intake(tuple(admitted), tuple(shed), deferred_now)
+
+    def flush_deferred(self) -> list[StreamItem]:
+        """Hand back everything still deferred (end of stream).
+
+        Flushed items go through the ordinary offer path — anything
+        whose event tick the watermark passed while it waited is
+        classified late there, which is exactly the deferral cost the
+        recall measurement reports.
+        """
+        items = list(self._deferred)
+        self._deferred.clear()
+        return items
+
+    # -- occupancy-cap shedding ----------------------------------------
+
+    def make_room(
+        self, incoming: StreamItem, buffer: ReorderBuffer
+    ) -> StreamItem | None:
+        """Consult the policy at the occupancy cap.
+
+        Returns a buffered victim to evict (admit ``incoming``), or
+        ``None`` (shed ``incoming``).  Counting the loser is the
+        caller's job via :meth:`note_shed`.
+        """
+        return self.policy.make_room(
+            incoming, buffer, self.priorities, self.policy_state
+        )
+
+    def note_shed(self, item: StreamItem) -> None:
+        """Record one shed observation in the per-class breakdown."""
+        name = self.priorities.of(item).name
+        self.shed_by_priority[name] = self.shed_by_priority.get(name, 0) + 1
+
+    # -- backpressure --------------------------------------------------
+
+    def backpressure(
+        self, occupancy: int, watermark: int | None
+    ) -> Backpressure:
+        """The pressure signal for the current buffer/deferral state."""
+        level = 0.0
+        if self.limits.max_pending:
+            level = occupancy / self.limits.max_pending
+        if self._deferred:
+            if self.limits.max_deferred:
+                level = max(level, len(self._deferred) / self.limits.max_deferred)
+            else:
+                level = 1.0  # over rate with unbounded deferral piling up
+        engaged = bool(self._deferred) or (
+            self.limits.max_pending is not None
+            and level >= self.limits.backpressure_ratio
+        )
+        return Backpressure(
+            engaged=engaged,
+            level=min(1.0, level),
+            occupancy=occupancy,
+            pending_limit=self.limits.max_pending,
+            deferred=len(self._deferred),
+            watermark=watermark,
+        )
+
+    # -- checkpoint / restore ------------------------------------------
+
+    def snapshot(self) -> AdmissionSnapshot:
+        """Capture deferred items, bucket levels, policy state, counters."""
+        return AdmissionSnapshot(
+            deferred=tuple(self._deferred),
+            buckets={
+                source: bucket.state()
+                for source, bucket in self._buckets.items()
+            },
+            policy_state=dict(self.policy_state),
+            shed_by_priority=dict(self.shed_by_priority),
+        )
+
+    def restore(self, snapshot: AdmissionSnapshot) -> None:
+        """Reload controller state (the config must match the one the
+        snapshot was taken under, as with engine snapshots)."""
+        if snapshot.buckets and self.limits.rate is None:
+            raise ObserverError(
+                "checkpoint carries token-bucket state but this "
+                "controller has no rate limit configured"
+            )
+        self._deferred = deque(snapshot.deferred)
+        self._buckets = {}
+        for source, state in snapshot.buckets.items():
+            bucket = TokenBucket(self.limits.rate, self.limits.burst)
+            bucket.restore(state)
+            self._buckets[source] = bucket
+        self.policy_state = dict(snapshot.policy_state)
+        self.shed_by_priority = dict(snapshot.shed_by_priority)

@@ -5,13 +5,20 @@ order and releases them in ``(event_tick, seq)`` order whenever the
 caller advances the release frontier (the merged watermark).  An item
 whose event tick is at or below the already-released frontier can no
 longer be slotted into the ordered stream: it is a **late** item,
-appended to :attr:`ReorderBuffer.late` and counted — never silently
-dropped — so callers decide whether to surface, re-route or discard it.
+counted exactly in :attr:`ReorderBuffer.late_count` and retained in
+:attr:`ReorderBuffer.late` up to a bounded retention window — the count
+is never lost, but the *retained sample* is capped so a lossy transport
+cannot grow the buffer (or any checkpoint copied from it) without
+bound.  Callers decide whether to surface, re-route or discard the
+retained lates.
 
 Occupancy is tracked with a high-water mark
 (:attr:`ReorderBuffer.peak_occupancy`), the backpressure number the
 streaming benchmarks report: it bounds the state a consumer must hold
-to absorb a transport's disorder.
+to absorb a transport's disorder.  The admission layer
+(:mod:`repro.stream.admission`) additionally caps live occupancy via
+the eviction hooks (:meth:`ReorderBuffer.evict_oldest` /
+:meth:`ReorderBuffer.evict_item`).
 """
 
 from __future__ import annotations
@@ -19,15 +26,31 @@ from __future__ import annotations
 import heapq
 from typing import Iterable
 
+from repro.core.errors import ObserverError
 from repro.stream.source import StreamItem
 
-__all__ = ["ReorderBuffer"]
+__all__ = ["ReorderBuffer", "DEFAULT_LATE_RETENTION"]
+
+DEFAULT_LATE_RETENTION = 256
+"""Default cap on *retained* late items.  The exact count is always
+kept in :attr:`ReorderBuffer.late_count`; only the sample of concrete
+items in :attr:`ReorderBuffer.late` is bounded (newest retained)."""
 
 
 class ReorderBuffer:
-    """Min-heap over ``(event_tick, seq)`` with a release frontier."""
+    """Min-heap over ``(event_tick, seq)`` with a release frontier.
 
-    def __init__(self):
+    Args:
+        late_retention: How many late items to *retain* for inspection
+            (the newest ones; ``None`` retains everything).  The exact
+            late count is tracked separately and is never capped.
+    """
+
+    def __init__(self, late_retention: int | None = DEFAULT_LATE_RETENTION):
+        if late_retention is not None and late_retention < 0:
+            raise ObserverError(
+                f"late retention cannot be negative: {late_retention}"
+            )
         # Heap entries carry an insertion counter after the order key:
         # ``seq`` is only unique per source, so two sources' items can
         # tie on (event_tick, seq) and heapq must never fall through to
@@ -36,6 +59,9 @@ class ReorderBuffer:
         self._heap: list[tuple[tuple[int, int], int, StreamItem]] = []
         self._counter = 0
         self._released_through: int | None = None
+        self._highest_offered: int | None = None
+        self._late_count = 0
+        self.late_retention = late_retention
         self.late: list[StreamItem] = []
         self.peak_occupancy = 0
 
@@ -50,30 +76,85 @@ class ReorderBuffer:
         return self._released_through
 
     @property
+    def highest_offered(self) -> int | None:
+        """Highest event tick ever offered (``None`` before the first)."""
+        return self._highest_offered
+
+    @property
     def late_count(self) -> int:
-        """Observations that arrived beyond the lateness bound."""
-        return len(self.late)
+        """Exact count of observations beyond the lateness bound.
+
+        Always exact, even when the retained sample in :attr:`late` has
+        been capped by the retention window.
+        """
+        return self._late_count
+
+    def is_late(self, item: StreamItem) -> bool:
+        """Whether offering ``item`` now would classify it late."""
+        return (
+            self._released_through is not None
+            and item.event_tick <= self._released_through
+        )
 
     def offer(self, item: StreamItem) -> bool:
         """Buffer one arrival; ``False`` if it is late.
 
         An item is late when its event tick falls at or below the
         frontier already released — emitting it now would regress the
-        consumer's clock.  Late items are retained in :attr:`late` (in
-        arrival order) for reporting; everything else is heap-ordered
-        for release.
+        consumer's clock.  Late items are counted exactly and retained
+        (newest first to go stale) up to the retention window;
+        everything else is heap-ordered for release.
         """
         if (
-            self._released_through is not None
-            and item.event_tick <= self._released_through
+            self._highest_offered is None
+            or item.event_tick > self._highest_offered
         ):
+            self._highest_offered = item.event_tick
+        if self.is_late(item):
+            self._late_count += 1
             self.late.append(item)
+            if (
+                self.late_retention is not None
+                and len(self.late) > self.late_retention
+            ):
+                # Drop-oldest-late retention: the most recent lates are
+                # the ones worth inspecting or re-routing.
+                del self.late[: len(self.late) - self.late_retention]
             return False
         heapq.heappush(self._heap, (item.order_key, self._counter, item))
         self._counter += 1
         if len(self._heap) > self.peak_occupancy:
             self.peak_occupancy = len(self._heap)
         return True
+
+    def oldest_pending(self) -> StreamItem | None:
+        """The buffered item next in event-time order (no removal)."""
+        return self._heap[0][2] if self._heap else None
+
+    def evict_oldest(self) -> StreamItem | None:
+        """Remove and return the event-time-oldest buffered item.
+
+        Load-shedding hook: the evicted item leaves the ordered stream
+        entirely (it will never be released and is *not* recorded
+        late); the caller owns counting it as shed.
+        """
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)[2]
+
+    def evict_item(self, item: StreamItem) -> bool:
+        """Remove one specific buffered item (identity match).
+
+        Load-shedding hook for priority-aware policies; returns whether
+        the item was found.  O(n) — shedding is the rare, measured path.
+        """
+        for position, (_, _, candidate) in enumerate(self._heap):
+            if candidate is item:
+                self._heap[position] = self._heap[-1]
+                self._heap.pop()
+                heapq.heapify(self._heap)
+                return True
+        return False
 
     def release(self, watermark: int) -> list[StreamItem]:
         """Remove and return every item with ``event_tick <= watermark``.
@@ -98,13 +179,15 @@ class ReorderBuffer:
         """Flush everything still buffered, in event-time order.
 
         End-of-stream release: the frontier advances to the highest
-        buffered event tick so any *subsequent* offer of an older item
-        is correctly classified late.
+        event tick ever offered — whether or not anything is still
+        buffered — so any *subsequent* offer of an older item is
+        correctly classified late.  (Advancing only to the highest
+        *buffered* tick would leave an empty buffer's frontier behind,
+        silently accepting post-finish stragglers as in-order.)
         """
-        if not self._heap:
+        if self._highest_offered is None:
             return []
-        highest = max(key[0] for key, _, _ in self._heap)
-        return self.release(highest)
+        return self.release(self._highest_offered)
 
     def pending(self) -> list[StreamItem]:
         """Buffered items in event-time order (checkpoint view)."""
@@ -116,12 +199,17 @@ class ReorderBuffer:
         late: Iterable[StreamItem],
         released_through: int | None,
         peak_occupancy: int = 0,
+        late_count: int | None = None,
+        highest_offered: int | None = None,
     ) -> None:
         """Reload buffer state from a checkpoint (replaces everything).
 
         ``pending`` must be in the order :meth:`pending` produced —
         re-numbering the insertion counters from it preserves the
-        arrival-order tie-break across the round trip.
+        arrival-order tie-break across the round trip.  ``late_count``
+        defaults to the retained sample's length and ``highest_offered``
+        to the highest tick visible in the checkpoint (exact values come
+        from :class:`~repro.stream.runtime.RuntimeCheckpoint`).
         """
         self._heap = [
             (item.order_key, position, item)
@@ -130,5 +218,13 @@ class ReorderBuffer:
         heapq.heapify(self._heap)
         self._counter = len(self._heap)
         self.late = list(late)
+        self._late_count = late_count if late_count is not None else len(self.late)
         self._released_through = released_through
+        if highest_offered is None:
+            candidates = [released_through]
+            candidates.extend(key[0] for key, _, _ in self._heap)
+            candidates.extend(item.event_tick for item in self.late)
+            known = [tick for tick in candidates if tick is not None]
+            highest_offered = max(known) if known else None
+        self._highest_offered = highest_offered
         self.peak_occupancy = max(peak_occupancy, len(self._heap))

@@ -33,6 +33,7 @@ from repro.detect.engine import DetectionEngine, Match, build_instance
 from repro.detect.index import DEFAULT_CELL_SIZE
 from repro.shard.engine import ShardedDetectionEngine
 from repro.sim.trace import TraceRecord
+from repro.stream.admission.controller import AdmissionController
 from repro.stream.runtime import (
     RuntimeCheckpoint,
     StreamingDetectionRuntime,
@@ -119,6 +120,11 @@ class ReplayObserver:
         bounds: World extent for the shard partitioner (required when
             ``shards > 1``).
         partition: Shard layout (``"grid"`` or ``"stripes"``).
+        admission: Optional
+            :class:`~repro.stream.admission.AdmissionController` handed
+            straight to the runtime — replays under resource bounds,
+            which is how the benchmark harness measures each shedding
+            policy's recall cost against the unbounded golden replay.
     """
 
     profile: ObserverProfile
@@ -126,6 +132,7 @@ class ReplayObserver:
     shards: int = 1
     bounds: BoundingBox | None = None
     partition: str = "grid"
+    admission: AdmissionController | None = None
     emitted: list[EventInstance] = field(default_factory=list)
     trace_rows: list[TraceRecord] = field(default_factory=list)
 
@@ -154,7 +161,10 @@ class ReplayObserver:
                 index_cell_size=profile.index_cell_size,
             )
         self.runtime = StreamingDetectionRuntime(
-            engine, lateness=self.lateness, on_match=self._emit
+            engine,
+            lateness=self.lateness,
+            on_match=self._emit,
+            admission=self.admission,
         )
         self._seq: dict[str, int] = {}
 

@@ -18,6 +18,18 @@ The runtime also owns the stream-level checkpoint: a
 :class:`RuntimeCheckpoint` captures the engine snapshot *plus* the
 in-flight reorder buffer, watermark state and counters, so a stream can
 resume mid-flight with an identical remaining match stream.
+
+Ingestion can be **bounded**: pass an
+:class:`~repro.stream.admission.AdmissionController` and every delivery
+step first clears admission — per-source token-bucket rate limits (with
+bounded deferral), an occupancy cap on the reorder buffer enforced by a
+pluggable shedding policy, and a
+:class:`~repro.stream.admission.Backpressure` signal handed to sources
+that expose ``throttle()``.  Every shed or deferred observation is
+counted (:attr:`~repro.detect.engine.EngineStats.shed_observations`,
+:attr:`~repro.detect.engine.EngineStats.deferred_observations`); with no
+limits configured the bounded runtime is behavior-identical to the
+unbounded one.
 """
 
 from __future__ import annotations
@@ -34,7 +46,12 @@ from repro.detect.engine import (
     Match,
 )
 from repro.shard.engine import ShardedDetectionEngine, ShardedEngineSnapshot
-from repro.stream.reorder import ReorderBuffer
+from repro.stream.admission.backpressure import Backpressure
+from repro.stream.admission.controller import (
+    AdmissionController,
+    AdmissionSnapshot,
+)
+from repro.stream.reorder import DEFAULT_LATE_RETENTION, ReorderBuffer
 from repro.stream.source import ObservationSource, StreamItem
 from repro.stream.watermark import WatermarkTracker
 
@@ -96,6 +113,17 @@ class RuntimeCheckpoint:
     closed_sources: frozenset[str]
     released_items: int
     stats: EngineStats
+    late_count: int | None = None
+    """Exact late count (may exceed ``len(late)`` once the retention
+    window has dropped old retained lates; ``None`` in pre-admission
+    checkpoints, where the retained sample *is* the count)."""
+    highest_offered: int | None = None
+    """Highest event tick ever offered — the end-of-stream release
+    frontier (``None`` in pre-admission checkpoints: restore infers it
+    from the visible items)."""
+    admission: AdmissionSnapshot | None = None
+    """Admission-controller state (deferred items, bucket levels, policy
+    state, shed counters); ``None`` when the runtime ran unbounded."""
 
 
 class StreamingDetectionRuntime:
@@ -114,6 +142,12 @@ class StreamingDetectionRuntime:
             order (the replay observers build instances here).
         on_release: Optional callback invoked per released tick group
             ``(tick, items)`` before the engine sees it.
+        admission: Optional
+            :class:`~repro.stream.admission.AdmissionController` bounding
+            ingestion — rate limits, occupancy cap, shedding policy and
+            backpressure.  ``None`` (the default) runs unbounded; a
+            controller with default :class:`~repro.stream.admission.AdmissionLimits`
+            is behavior-identical to ``None``.
 
     The runtime's :attr:`stats` is an
     :class:`~repro.detect.engine.EngineStats` over the *stream* level:
@@ -131,15 +165,23 @@ class StreamingDetectionRuntime:
         lateness: int,
         on_match: Callable[[Match], None] | None = None,
         on_release: Callable[[int, Sequence[StreamItem]], None] | None = None,
+        admission: AdmissionController | None = None,
     ):
         self.engine = engine
         self.lateness = lateness
         self.on_match = on_match
         self.on_release = on_release
-        self.buffer = ReorderBuffer()
+        self.admission = admission
+        retention = (
+            admission.limits.late_retention
+            if admission is not None
+            else DEFAULT_LATE_RETENTION
+        )
+        self.buffer = ReorderBuffer(late_retention=retention)
         self.tracker = WatermarkTracker(lateness)
         self.stats = EngineStats()
         self.released_items = 0
+        self.last_backpressure: Backpressure | None = None
 
     # -- ingestion -----------------------------------------------------
 
@@ -169,23 +211,75 @@ class StreamingDetectionRuntime:
     def ingest(self, items: Sequence[StreamItem]) -> list[Match]:
         """Process one delivery step (co-arriving items) and release.
 
-        Every item is offered to the reorder buffer and noted by the
-        watermark tracker *first*; only then does the (possibly
-        advanced) merged watermark release buffered observations to the
-        engine, in event-time order, grouped by event tick.
+        The whole step is validated before anything mutates — a step
+        naming a closed source raises with the buffer, tracker and
+        counters untouched, so the caller can drop the bad step and
+        continue from consistent state.  Then every item clears
+        admission (rate limits, occupancy cap) and the survivors are
+        offered to the reorder buffer and noted by the watermark
+        tracker; only then does the (possibly advanced) merged watermark
+        release buffered observations to the engine, in event-time
+        order, grouped by event tick.
         """
         started = perf_counter()
-        for item in items:
-            self.tracker.observe(item.source, item.event_tick)
-            if self.buffer.offer(item):
-                self.stats.entities_submitted += 1
-            else:
-                self.stats.late_observations += 1
+        self.tracker.ensure_open({item.source for item in items})
+        if self.admission is None:
+            for item in items:
+                self._offer(item)
+        else:
+            intake = self.admission.intake(items)
+            self.stats.shed_observations += len(intake.shed)
+            self.stats.deferred_observations += intake.deferred
+            for item in intake.admitted:
+                self._offer(item)
         if self.buffer.peak_occupancy > self.stats.reorder_peak:
             self.stats.reorder_peak = self.buffer.peak_occupancy
-        matches = self._release(self.tracker.watermark())
+        watermark = self.tracker.watermark()
+        matches = self._release(watermark)
+        if self.admission is not None:
+            signal = self.admission.backpressure(
+                self.buffer.occupancy, watermark
+            )
+            self.last_backpressure = signal
+            if signal.engaged:
+                self.stats.backpressure_events += 1
         self.stats.evaluation_time_s += perf_counter() - started
         return matches
+
+    def _offer(self, item: StreamItem, observe: bool = True) -> None:
+        """Offer one admitted item, enforcing the occupancy cap.
+
+        At the cap (bounded runtimes only, and never for late items —
+        those land in the separately-bounded late list) the shedding
+        policy names a buffered victim to evict, or sheds the incoming
+        item.  Either loser is counted in ``stats.shed_observations``
+        and the controller's per-class breakdown.
+        """
+        if observe:
+            self.tracker.observe(item.source, item.event_tick)
+        if self.admission is not None:
+            cap = self.admission.limits.max_pending
+            if (
+                cap is not None
+                and self.buffer.occupancy >= cap
+                and not self.buffer.is_late(item)
+            ):
+                victim = self.admission.make_room(item, self.buffer)
+                if victim is None:
+                    self.admission.note_shed(item)
+                    self.stats.shed_observations += 1
+                    return
+                if not self.buffer.evict_item(victim):
+                    raise ObserverError(
+                        "shedding policy named a victim that is not in "
+                        "the reorder buffer"
+                    )
+                self.admission.note_shed(victim)
+                self.stats.shed_observations += 1
+        if self.buffer.offer(item):
+            self.stats.entities_submitted += 1
+        else:
+            self.stats.late_observations += 1
 
     def run(self, source: ObservationSource | Iterable[StreamItem]) -> list[Match]:
         """Drain one source completely (arrival order), then flush.
@@ -197,15 +291,39 @@ class StreamingDetectionRuntime:
         name = getattr(source, "name", None)
         if isinstance(name, str):
             self.register_source(name)
+        throttle = getattr(source, "throttle", None)
         matches: list[Match] = []
         for _, group in arrival_groups(source):
             matches.extend(self.ingest(group))
+            if (
+                throttle is not None
+                and self.last_backpressure is not None
+                and self.last_backpressure.engaged
+            ):
+                # Cooperative backpressure: a source exposing throttle()
+                # is asked to slow down while pressure is on; sources
+                # without one simply keep the shedding policy busy.
+                throttle(self.last_backpressure)
         matches.extend(self.finish())
         return matches
 
     def finish(self) -> list[Match]:
-        """Close every source and flush the buffer in event-time order."""
+        """Close every source and flush the buffer in event-time order.
+
+        Anything still parked in the admission deferral queue is offered
+        first — an item whose event tick the watermark passed while it
+        waited is classified late here, which is the measured cost of
+        deferring it.
+        """
         started = perf_counter()
+        if self.admission is not None:
+            for item in self.admission.flush_deferred():
+                # A source closed mid-run no longer moves the watermark;
+                # its flushed stragglers are offered (and usually found
+                # late) without re-opening it.
+                self._offer(item, observe=self.tracker.is_open(item.source))
+            if self.buffer.peak_occupancy > self.stats.reorder_peak:
+                self.stats.reorder_peak = self.buffer.peak_occupancy
         self.tracker.close_all()
         matches = self._flush(self.buffer.release_all())
         self.stats.evaluation_time_s += perf_counter() - started
@@ -260,6 +378,13 @@ class StreamingDetectionRuntime:
             closed_sources=closed,
             released_items=self.released_items,
             stats=replace(self.stats),
+            late_count=self.buffer.late_count,
+            highest_offered=self.buffer.highest_offered,
+            admission=(
+                self.admission.snapshot()
+                if self.admission is not None
+                else None
+            ),
         )
 
     def restore(self, checkpoint: RuntimeCheckpoint) -> None:
@@ -274,16 +399,26 @@ class StreamingDetectionRuntime:
             raise ObserverError(
                 "checkpoint and runtime disagree about having an engine"
             )
+        if (checkpoint.admission is None) != (self.admission is None):
+            raise ObserverError(
+                "checkpoint and runtime disagree about having an "
+                "admission controller"
+            )
         if self.engine is not None:
             self.engine.restore(checkpoint.engine)
+        if self.admission is not None:
+            self.admission.restore(checkpoint.admission)
         self.buffer.restore(
             checkpoint.pending,
             checkpoint.late,
             checkpoint.released_through,
             checkpoint.peak_occupancy,
+            late_count=checkpoint.late_count,
+            highest_offered=checkpoint.highest_offered,
         )
         self.tracker.restore(
             dict(checkpoint.source_max_seen), checkpoint.closed_sources
         )
         self.released_items = checkpoint.released_items
         self.stats = replace(checkpoint.stats)
+        self.last_backpressure = None

@@ -13,6 +13,8 @@ applies across its shard engines' clocks).
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.core.errors import ObserverError
 
 __all__ = ["WatermarkTracker"]
@@ -39,8 +41,40 @@ class WatermarkTracker:
 
         A registered-but-silent source pins the merged watermark at
         ``None`` (no release), which is what makes late joiners safe.
+
+        Raises:
+            ObserverError: If the name was already closed.  A closed
+                source has promised "everything" and stopped holding the
+                frontier — re-registering it would *look* like silence
+                holds the watermark while it never does, so reuse of an
+                exhausted name is rejected loudly instead of silently
+                no-op'ing.  Closed names are never re-opened; a late
+                joiner must pick a fresh source name.
         """
+        if source in self._closed:
+            raise ObserverError(
+                f"source {source!r} is already closed; a closed source "
+                "cannot be re-registered — use a fresh source name"
+            )
         self._max_seen.setdefault(source, None)  # type: ignore[arg-type]
+
+    def is_open(self, source: str) -> bool:
+        """Whether ``source`` has not been closed (unknown counts open)."""
+        return source not in self._closed
+
+    def ensure_open(self, sources: Iterable[str]) -> None:
+        """Validate that none of ``sources`` is closed (raise otherwise).
+
+        The pre-mutation check :meth:`StreamingDetectionRuntime.ingest`
+        runs over a whole delivery step before touching any state, so a
+        bad step is rejected atomically instead of mid-loop.
+        """
+        closed = sorted({name for name in sources if name in self._closed})
+        if closed:
+            raise ObserverError(
+                f"sources {closed} already closed; the delivery step was "
+                "rejected before any item was buffered"
+            )
 
     def observe(self, source: str, event_tick: int) -> None:
         """Note one arrival from ``source`` (re-opens nothing)."""

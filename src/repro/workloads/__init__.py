@@ -4,6 +4,7 @@ from repro.workloads.families import (
     build_convoy_pursuit,
     build_high_density,
     build_jittery_corridor,
+    build_overload_surge,
     build_sensor_failure_storm,
     build_sharded_metro,
     build_urban_campus,
@@ -40,6 +41,7 @@ __all__ = [
     "build_high_density",
     "build_sharded_metro",
     "build_jittery_corridor",
+    "build_overload_surge",
     "SIZE_PRESETS",
     "ScenarioSpec",
     "register_scenario",

@@ -1,10 +1,10 @@
 """Additional end-to-end scenario families beyond the paper's trio.
 
 The seed scenarios (:mod:`repro.workloads.scenarios`) cover the paper's
-motivating workloads; these four families grow the matrix toward the
+motivating workloads; these families grow the matrix toward the
 cases spatio-temporal monitoring work stresses — mobile entities,
-several sinks on one fabric, degraded substrates and event densities
-that exercise the spatial index:
+several sinks on one fabric, degraded substrates, event densities
+that exercise the spatial index, reordering transports and overload:
 
 * :func:`build_convoy_pursuit` — two waypoint-mobile objects (a convoy
   leader and a pursuer) cross the sensed field; motes emit per-target
@@ -20,7 +20,15 @@ that exercise the spatial index:
   degradation without crashes;
 * :func:`build_high_density` — a dense mote grid with pulsing plume
   sources producing clustered warm readings, stressing the hash-grid
-  role index with pair conditions over large windows.
+  role index with pair conditions over large windows;
+* :func:`build_jittery_corridor` — a heavy-backoff fabric that delivers
+  sightings out of event-time order, the streaming runtime's workload;
+* :func:`build_sharded_metro` — a wide multi-sink corridor whose load
+  sweeps every spatial partition, the shard-scaling workload;
+* :func:`build_overload_surge` — a field-wide plume burst through a
+  jittery fabric turns every mote warm every round: the sink's ingest
+  rate spikes far above steady state, saturating any bounded reorder
+  buffer or rate limit — the admission-control workload.
 
 Every builder is deterministic given its seed, returns a
 :class:`~repro.workloads.scenarios.Scenario`, accepts ``use_planner``
@@ -1096,4 +1104,178 @@ def build_sharded_metro(
             "tram_b": tram_b,
             "reroute_log": reroute_log,
         },
+    )
+
+
+# ----------------------------------------------------------------------
+# overload surge: a field-wide burst that saturates bounded ingestion
+# ----------------------------------------------------------------------
+
+def build_overload_surge(
+    seed: int = 0,
+    rows: int = 4,
+    cols: int = 6,
+    spacing: float = 8.0,
+    warm_threshold: float = 40.0,
+    sampling_period: int = 3,
+    surge_amplitude: float = 85.0,
+    surge_start: int = 60,
+    surge_end: int = 150,
+    jitter_backoff: int = 5,
+    horizon: int = 240,
+    pair_window_rounds: int = 4,
+    pair_cooldown_rounds: int = 2,
+    use_planner: bool = True,
+    shards: int = 1,
+    partition: str = "grid",
+) -> Scenario:
+    """A field-wide heat surge floods the sink through a jittery fabric.
+
+    The admission-control workload: one plume source with a sigma wide
+    enough to cover the *entire* grid ramps up mid-run, so for the whole
+    surge window every mote fires a ``surge_reading`` each sampling
+    round — the sink's ingest rate jumps from a cooldown-gated trickle
+    to all-motes-every-round, which is exactly the burst shape that
+    saturates a bounded reorder buffer or a per-source token bucket.
+    The CSMA backoff fabric (``jitter_backoff`` ticks per hop attempt)
+    disorders delivery at the same time, so the burst arrives late,
+    swapped and bunched: peak reorder occupancy under the surge is an
+    order of magnitude above the quiet phases.
+
+    Replayed through a bounded
+    :class:`~repro.stream.runtime.StreamingDetectionRuntime` this
+    scenario drives genuine shedding decisions
+    (:func:`benchmarks.report.admission_report` quantifies each
+    policy's recall cost on it); run unbounded it pins a golden digest
+    like every other family, which is what proves the admission layer
+    inert when no limit triggers.
+    """
+    system = CPSSystem(
+        seed=seed, use_planner=use_planner, shards=shards, partition=partition
+    )
+    width = (cols - 1) * spacing
+    height = (rows - 1) * spacing
+    field = GaussianPlumeField(
+        base=20.0,
+        sources=[
+            # Sigma spans the whole grid: during the surge window every
+            # mote sits deep inside the plume and reads warm.
+            PlumeSource(
+                PointLocation(width / 2.0, height / 2.0),
+                amplitude=surge_amplitude,
+                sigma=2.0 * max(width, height),
+                start=surge_start, end=surge_end, ramp=6,
+            ),
+        ],
+    )
+    system.world.add_field("temperature", field)
+    siren_log: list[int] = []
+    system.world.on_actuation(
+        "siren", lambda payload, tick: siren_log.append(tick)
+    )
+
+    topology = grid_topology(rows, cols, spacing, UnitDiskRadio(spacing * 1.6))
+    sink_name = "MT0_0"
+    # The same jitter fabric as the corridor: per-attempt CSMA backoff
+    # decorrelates delivery order from sampling order, so the surge
+    # reaches the sink as a disordered pile-up, not a tidy ramp.
+    system.build_sensor_network(
+        topology,
+        sink_names=[sink_name],
+        backoff_ticks=jitter_backoff,
+    )
+
+    surge_reading = EventSpecification(
+        event_id="surge_reading",
+        selectors={"x": EntitySelector(kinds={"temperature"})},
+        condition=AttributeCondition(
+            "last", (AttributeTerm("x", "temperature"),),
+            RelationalOp.GT, warm_threshold,
+        ),
+        window=0,
+        # One sampling round of cooldown: during the surge every mote
+        # fires every round — the flood is the point.
+        cooldown=sampling_period,
+        output=OutputPolicy(
+            attributes=(
+                OutputAttribute(
+                    "temperature", "last", (AttributeTerm("x", "temperature"),)
+                ),
+            )
+        ),
+    )
+    for name in topology.names:
+        if name == sink_name:
+            continue
+        system.add_mote(
+            name,
+            [
+                Sensor(
+                    "SRt", "temperature",
+                    system.sim.rng.stream(f"{name}.temp"),
+                    noise_sigma=1.5,
+                )
+            ],
+            sampling_period=sampling_period,
+            specs=[surge_reading],
+        )
+
+    surge_pair = EventSpecification(
+        event_id="surge_pair",
+        selectors={
+            "a": EntitySelector(kinds={"surge_reading"}),
+            "b": EntitySelector(kinds={"surge_reading"}),
+        },
+        condition=all_of(
+            TemporalCondition(TimeOf("a"), TemporalOp.BEFORE, TimeOf("b")),
+            SpatialMeasureCondition(
+                "distance", ("a", "b"), RelationalOp.LT, 1.2 * spacing
+            ),
+        ),
+        window=pair_window_rounds * sampling_period,
+        cooldown=pair_cooldown_rounds * sampling_period,
+        output=OutputPolicy(time="latest", space="centroid", confidence="mean"),
+        description="two adjacent surge reports despite the overloaded fabric",
+    )
+    system.add_sink(sink_name, specs=[surge_pair])
+
+    overload_alert = EventSpecification(
+        event_id="overload_alert",
+        selectors={"e": EntitySelector(kinds={"surge_pair"})},
+        condition=ConfidenceCondition("e", RelationalOp.GE, 0.2),
+        window=0,
+        cooldown=12 * sampling_period,
+        output=OutputPolicy(time="latest", space="centroid"),
+    )
+    system.add_ccu(
+        "CCU1",
+        PointLocation(-10.0, -10.0),
+        specs=[overload_alert],
+        rules=[
+            _alarm_rule(
+                "overload_alert", "siren", ("AR_siren",),
+                {"zone": "field"}, 20 * sampling_period,
+            )
+        ],
+    )
+    system.add_dispatch("D1", PointLocation(-10.0, 0.0))
+    system.add_actor_mote(
+        "AR_siren",
+        [Actuator("horn", "siren")],
+        location=PointLocation(width / 2.0, height / 2.0),
+    )
+    system.add_database("DB1")
+
+    return Scenario(
+        system=system,
+        params={
+            "warm_threshold": warm_threshold,
+            "sampling_period": sampling_period,
+            "horizon": horizon,
+            "spacing": spacing,
+            "surge_start": surge_start,
+            "surge_end": surge_end,
+            "jitter_backoff": jitter_backoff,
+        },
+        handles={"field": field, "siren_log": siren_log},
     )

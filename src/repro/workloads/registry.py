@@ -28,6 +28,7 @@ from repro.workloads.families import (
     build_convoy_pursuit,
     build_high_density,
     build_jittery_corridor,
+    build_overload_surge,
     build_sensor_failure_storm,
     build_sharded_metro,
     build_urban_campus,
@@ -311,6 +312,29 @@ register_scenario(
             "large": {"rows": 4, "cols": 24, "sampling_period": 2,
                       "horizon": 1500, "cluster_window_rounds": 30,
                       "cluster_cooldown_rounds": 0},
+        },
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="overload_surge",
+        builder=build_overload_surge,
+        description="field-wide plume burst floods the sink far above steady-state rate",
+        layers=("surge plume", "reordering WSN", "mote", "sink", "ccu", "actuation"),
+        paper_section="-",
+        presets={
+            "small": {"rows": 4, "cols": 6, "horizon": 240},
+            # Benchmark scale: a wider grid, denser sampling and a
+            # longer surge window sustain the all-motes-every-round
+            # flood — the bounded-ingestion workload behind the
+            # BENCH_PR7 admission rows.
+            "medium": {"rows": 5, "cols": 8, "sampling_period": 2,
+                       "horizon": 480, "surge_start": 90,
+                       "surge_end": 330},
+            "large": {"rows": 6, "cols": 10, "sampling_period": 2,
+                      "horizon": 900, "surge_start": 120,
+                      "surge_end": 660},
         },
     )
 )

@@ -36,8 +36,14 @@ import pytest
 
 from repro.core.time_model import TimeInterval
 from repro.sim.trace import trace_digest
-from repro.stream import JitteredSource, ReplayObserver, profile_of
-from repro.stream.runtime import arrival_groups
+from repro.stream import (
+    AdmissionController,
+    AdmissionLimits,
+    JitteredSource,
+    ReplayObserver,
+    profile_of,
+)
+from repro.stream.runtime import StreamingDetectionRuntime, arrival_groups
 from repro.workloads import build_scenario, scenario_names
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
@@ -267,3 +273,91 @@ class TestLiveFabricDisorder:
             "jittery_corridor's radio should deliver sensor events out of "
             "event-time order"
         )
+
+
+@pytest.mark.parametrize("name", scenario_names())
+class TestAdmissionZeroLimitIdentity:
+    """A bounded runtime whose limits never trigger is golden-identical.
+
+    Installing an :class:`~repro.stream.AdmissionController` with the
+    default (no-op) :class:`~repro.stream.AdmissionLimits` must leave
+    every scenario's jittered replay byte-for-byte on its golden digest
+    with zero shed, deferred or backpressure events — admission is a
+    strict superset of the unbounded runtime, never a new behavior.
+    """
+
+    def test_no_limit_replay_matches_golden(self, name):
+        scenario, taps = _run(name)
+        replays = {}
+        for tap_name, tap in taps.items():
+            source = JitteredSource(tap, max_delay=LATENESS, seed=JITTER_SEED)
+            replayer = ReplayObserver(
+                profile_of(_observer(scenario.system, tap_name)),
+                lateness=LATENESS,
+                admission=AdmissionController(),
+            )
+            replayer.replay(source)
+            stats = replayer.runtime.stats
+            assert stats.shed_observations == 0
+            assert stats.deferred_observations == 0
+            assert stats.backpressure_events == 0
+            assert stats.late_observations == 0
+            replays[tap_name] = replayer
+        assert _spliced_digest(scenario, replays) == _golden_digest(name)
+
+
+class TestOverloadSurgeBounded:
+    """The overload family genuinely saturates a bound — and stays exact
+    when unbounded (the CI overload-smoke leg)."""
+
+    CAP = 32
+
+    def _sink_tap(self):
+        scenario, taps = _run("overload_surge")
+        return scenario, taps["MT0_0"]
+
+    def test_surge_feed_overloads_an_unbounded_buffer(self):
+        scenario, tap = self._sink_tap()
+        source = JitteredSource(tap, max_delay=LATENESS, seed=JITTER_SEED)
+        runtime = StreamingDetectionRuntime(lateness=LATENESS)
+        runtime.run(source)
+        assert runtime.stats.reorder_peak > self.CAP, (
+            "overload_surge must push unbounded occupancy past the cap "
+            "or the bounded leg proves nothing"
+        )
+
+    def test_bounded_replay_holds_the_cap_and_counts_losses(self):
+        scenario, tap = self._sink_tap()
+        source = JitteredSource(tap, max_delay=LATENESS, seed=JITTER_SEED)
+        controller = AdmissionController(AdmissionLimits(max_pending=self.CAP))
+        runtime = StreamingDetectionRuntime(
+            lateness=LATENESS, admission=controller
+        )
+        runtime.run(source)
+        stats = runtime.stats
+        assert stats.reorder_peak <= self.CAP
+        assert stats.shed_observations > 0
+        assert stats.backpressure_events > 0
+        offered = sum(len(entities) for _, entities in tap.batches)
+        assert (
+            runtime.released_items
+            + runtime.buffer.late_count
+            + stats.shed_observations
+            == offered
+        )
+        assert stats.shed_observations == controller.shed_total
+
+    def test_sharded_bounded_replay_holds_the_cap(self):
+        scenario, tap = self._sink_tap()
+        source = JitteredSource(tap, max_delay=LATENESS, seed=JITTER_SEED)
+        controller = AdmissionController(AdmissionLimits(max_pending=self.CAP))
+        replayer = ReplayObserver(
+            profile_of(_observer(scenario.system, tap.name)),
+            lateness=LATENESS,
+            shards=4,
+            bounds=scenario.system.detection_bounds(),
+            admission=controller,
+        )
+        replayer.replay(source)
+        assert replayer.runtime.stats.reorder_peak <= self.CAP
+        assert replayer.runtime.stats.shed_observations > 0

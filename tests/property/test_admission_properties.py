@@ -1,0 +1,213 @@
+"""Property-based tests for bounded ingestion (hypothesis).
+
+The admission contract, over randomized streams, limits, priorities and
+shedding policies:
+
+* **conservation** — after ``finish()``, every offered observation has
+  exactly one fate: ``released + late + shed == offered``.  Nothing is
+  silently parked in a deferral queue or dropped off the books,
+  whatever combination of occupancy cap, rate limit, deferral bound,
+  priority map and policy is active;
+* **the cap holds** — peak reorder occupancy never exceeds
+  ``max_pending``;
+* **zero-limit identity** — a controller with no limits configured
+  releases the identical stream (same seqs, same order, same counters)
+  as a runtime with no controller at all;
+* **checkpoint transparency under shedding** — cutting the delivery
+  steps anywhere, snapshotting (buckets, deferral queue, policy state,
+  shed counters included) and resuming in a fresh bounded runtime
+  yields the same released stream and the same final accounting as the
+  uninterrupted run.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.stream import (
+    AdmissionController,
+    AdmissionLimits,
+    Priority,
+    PriorityMap,
+    StreamingDetectionRuntime,
+    StreamItem,
+)
+from repro.stream.runtime import arrival_groups
+
+POLICIES = ("drop_oldest_late", "drop_lowest_priority", "degrade_to_sampling")
+
+SOURCES = ("s0", "s1")
+
+
+@st.composite
+def bounded_cases(draw):
+    """A random two-source stream plus random admission configuration."""
+    n = draw(st.integers(min_value=0, max_value=70))
+    lateness = draw(st.integers(min_value=0, max_value=10))
+    ticks = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=50),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    items = []
+    for seq, tick in enumerate(ticks):
+        delay = draw(st.integers(min_value=0, max_value=lateness + 6))
+        items.append(
+            StreamItem(
+                entity=seq,
+                event_tick=tick,
+                seq=seq,
+                arrival_tick=tick + delay,
+                source=draw(st.sampled_from(SOURCES)),
+            )
+        )
+    items.sort(key=lambda item: (item.arrival_tick, item.seq))
+    limits = AdmissionLimits(
+        max_pending=draw(
+            st.one_of(st.none(), st.integers(min_value=0, max_value=12))
+        ),
+        rate=draw(
+            st.one_of(
+                st.none(),
+                st.floats(min_value=0.25, max_value=4.0, allow_nan=False),
+            )
+        ),
+        burst=draw(st.integers(min_value=1, max_value=6)),
+        max_deferred=draw(
+            st.one_of(st.none(), st.integers(min_value=0, max_value=8))
+        ),
+    )
+    priorities = PriorityMap(
+        default=draw(st.sampled_from(list(Priority))),
+        sources={"s0": draw(st.sampled_from(list(Priority)))},
+    )
+    policy = draw(st.sampled_from(POLICIES))
+    return items, lateness, limits, priorities, policy
+
+
+def run_bounded(items, lateness, controller):
+    """Drive an engineless bounded runtime over the items' steps."""
+    released: list[int] = []
+    runtime = StreamingDetectionRuntime(
+        None,
+        lateness=lateness,
+        on_release=lambda tick, group: released.extend(
+            item.seq for item in group
+        ),
+        admission=controller,
+    )
+    for source in SOURCES:
+        runtime.register_source(source)
+    for _, group in arrival_groups(items):
+        runtime.ingest(group)
+    runtime.finish()
+    return released, runtime
+
+
+class TestConservation:
+    @settings(max_examples=150, deadline=None)
+    @given(bounded_cases())
+    def test_released_late_shed_partition_the_offer(self, case):
+        items, lateness, limits, priorities, policy = case
+        controller = AdmissionController(
+            limits, priorities=priorities, shedding=policy
+        )
+        released, runtime = run_bounded(items, lateness, controller)
+        stats = runtime.stats
+        assert (
+            len(released) + runtime.buffer.late_count + stats.shed_observations
+            == len(items)
+        ), "every offered observation must be released, late or shed"
+        assert len(released) == runtime.released_items
+        assert stats.shed_observations == controller.shed_total
+        assert controller.deferred_depth == 0, "finish() drains deferral"
+        # Released seqs are unique offered seqs (no duplication, no
+        # fabrication), in exact event-time order.
+        offered_seqs = {item.seq for item in items}
+        assert len(set(released)) == len(released)
+        assert set(released) <= offered_seqs
+        by_seq = {item.seq: item for item in items}
+        keys = [by_seq[seq].order_key for seq in released]
+        assert keys == sorted(keys)
+
+    @settings(max_examples=150, deadline=None)
+    @given(bounded_cases())
+    def test_occupancy_cap_holds(self, case):
+        items, lateness, limits, priorities, policy = case
+        controller = AdmissionController(
+            limits, priorities=priorities, shedding=policy
+        )
+        _, runtime = run_bounded(items, lateness, controller)
+        if limits.max_pending is not None:
+            assert runtime.stats.reorder_peak <= limits.max_pending
+
+    @settings(max_examples=100, deadline=None)
+    @given(bounded_cases())
+    def test_zero_limit_identity(self, case):
+        items, lateness, _, priorities, policy = case
+        bounded_released, bounded = run_bounded(
+            items,
+            lateness,
+            AdmissionController(priorities=priorities, shedding=policy),
+        )
+        plain_released, plain = run_bounded(items, lateness, None)
+        assert bounded_released == plain_released
+        assert bounded.stats.shed_observations == 0
+        assert bounded.stats.deferred_observations == 0
+        assert bounded.buffer.late_count == plain.buffer.late_count
+        assert (
+            bounded.stats.entities_submitted == plain.stats.entities_submitted
+        )
+
+
+class TestCheckpointUnderShedding:
+    @settings(max_examples=100, deadline=None)
+    @given(bounded_cases(), st.integers(min_value=0, max_value=1_000_000))
+    def test_cut_anywhere_resume_identical(self, case, cut_seed):
+        items, lateness, limits, priorities, policy = case
+
+        def fresh():
+            released: list[int] = []
+            runtime = StreamingDetectionRuntime(
+                None,
+                lateness=lateness,
+                on_release=lambda tick, group: released.extend(
+                    item.seq for item in group
+                ),
+                admission=AdmissionController(
+                    limits, priorities=priorities, shedding=policy
+                ),
+            )
+            for source in SOURCES:
+                runtime.register_source(source)
+            return released, runtime
+
+        groups = [group for _, group in arrival_groups(items)]
+        cut = cut_seed % (len(groups) + 1)
+
+        whole_released, whole = fresh()
+        for group in groups:
+            whole.ingest(group)
+        whole.finish()
+
+        head_released, head = fresh()
+        for group in groups[:cut]:
+            head.ingest(group)
+        checkpoint = head.snapshot()
+
+        tail_released, tail = fresh()
+        tail.restore(checkpoint)
+        for group in groups[cut:]:
+            tail.ingest(group)
+        tail.finish()
+
+        assert head_released + tail_released == whole_released
+        assert tail.stats.shed_observations == whole.stats.shed_observations
+        assert tail.buffer.late_count == whole.buffer.late_count
+        assert tail.released_items == whole.released_items
+        assert (
+            tail.stats.deferred_observations
+            == whole.stats.deferred_observations
+        )

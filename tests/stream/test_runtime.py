@@ -189,3 +189,42 @@ class TestRuntimeLateness:
         assert stats.observations_per_s > 0
         assert stats.batches_submitted > 0
         assert stats.matches == 30
+
+
+class TestAtomicIngest:
+    """Regression: a delivery step naming a closed source used to fail
+    *mid-loop*, leaving earlier items buffered and the watermark moved —
+    a half-applied step.  The whole step is now validated up front."""
+
+    def test_bad_step_rejected_before_any_mutation(self):
+        runtime = StreamingDetectionRuntime(lateness=2)
+        runtime.register_source("a")
+        runtime.register_source("b")
+        runtime.ingest([
+            StreamItem(entity=obs(0, 0), event_tick=0, seq=0,
+                       arrival_tick=0, source="a"),
+        ])
+        runtime.close_source("a")
+        good = StreamItem(entity=obs(1, 5), event_tick=5, seq=1,
+                          arrival_tick=5, source="b")
+        bad = StreamItem(entity=obs(2, 5), event_tick=5, seq=2,
+                         arrival_tick=5, source="a")
+        before_pending = runtime.buffer.pending()
+        before_stats = (
+            runtime.stats.entities_submitted,
+            runtime.stats.late_observations,
+        )
+        before_watermark = runtime.tracker.watermark()
+        with pytest.raises(ObserverError, match="rejected before any item"):
+            runtime.ingest([good, bad])  # good precedes bad in the step
+        # Nothing moved: the good item was not buffered, the watermark
+        # did not advance, no counter ticked.
+        assert runtime.buffer.pending() == before_pending
+        assert (
+            runtime.stats.entities_submitted,
+            runtime.stats.late_observations,
+        ) == before_stats
+        assert runtime.tracker.watermark() == before_watermark
+        # The cleaned-up step is accepted afterwards.
+        runtime.ingest([good])
+        assert runtime.stats.entities_submitted == 2

@@ -146,3 +146,122 @@ class TestReorderBuffer:
         )
         assert [i.order_key for i in clone.release_all()] == [(7, 1), (9, 2)]
         assert clone.peak_occupancy == buffer.peak_occupancy
+
+
+class TestLateRetentionRegression:
+    """The late list is a bounded sample; the count is always exact.
+
+    Regression: ``ReorderBuffer.late`` used to grow without bound on a
+    lossy transport, ballooning memory and every checkpoint copied from
+    it.
+    """
+
+    def test_retention_caps_sample_but_not_count(self):
+        buffer = ReorderBuffer(late_retention=4)
+        buffer.offer(item(100, 0))
+        buffer.release(100)
+        stragglers = [item(t, 1 + t, arrival=200) for t in range(10)]
+        for straggler in stragglers:
+            assert not buffer.offer(straggler)
+        assert buffer.late_count == 10  # exact, never capped
+        assert buffer.late == stragglers[-4:]  # newest retained
+
+    def test_zero_retention_keeps_nothing_but_counts_everything(self):
+        buffer = ReorderBuffer(late_retention=0)
+        buffer.offer(item(50, 0))
+        buffer.release(50)
+        assert not buffer.offer(item(1, 1, arrival=60))
+        assert buffer.late == [] and buffer.late_count == 1
+
+    def test_none_retention_keeps_everything(self):
+        buffer = ReorderBuffer(late_retention=None)
+        buffer.offer(item(50, 0))
+        buffer.release(50)
+        for seq in range(300):
+            buffer.offer(item(2, 100 + seq, arrival=60))
+        assert len(buffer.late) == buffer.late_count == 300
+
+    def test_negative_retention_rejected(self):
+        with pytest.raises(ObserverError, match="retention"):
+            ReorderBuffer(late_retention=-1)
+
+    def test_exact_count_survives_restore(self):
+        buffer = ReorderBuffer(late_retention=2)
+        buffer.offer(item(50, 0))
+        buffer.release(50)
+        for seq in range(5):
+            buffer.offer(item(3, 10 + seq, arrival=60))
+        clone = ReorderBuffer(late_retention=2)
+        clone.restore(
+            buffer.pending(), buffer.late, buffer.released_through,
+            buffer.peak_occupancy, late_count=buffer.late_count,
+            highest_offered=buffer.highest_offered,
+        )
+        assert clone.late_count == 5
+        assert clone.late == buffer.late
+
+
+class TestReleaseAllFrontierRegression:
+    """``release_all`` advances the frontier even over an empty heap.
+
+    Regression: with every buffered item evicted (load shedding), the
+    old ``release_all`` returned early without touching the frontier,
+    so an *older* observation offered after ``finish()`` was accepted
+    as in-order instead of being classified late.
+    """
+
+    def test_empty_heap_still_advances_to_highest_offered(self):
+        buffer = ReorderBuffer()
+        buffer.offer(item(10, 0))
+        assert buffer.evict_oldest().event_tick == 10
+        assert buffer.release_all() == []
+        assert buffer.released_through == 10
+        straggler = item(5, 1, arrival=20)
+        assert not buffer.offer(straggler)  # late, not silently in-order
+        assert buffer.late_count == 1
+
+    def test_never_offered_buffer_stays_inert(self):
+        buffer = ReorderBuffer()
+        assert buffer.release_all() == []
+        assert buffer.released_through is None
+        assert buffer.offer(item(1, 0))  # a fresh stream can still start
+
+    def test_highest_offered_survives_restore_of_emptied_buffer(self):
+        buffer = ReorderBuffer()
+        buffer.offer(item(10, 0))
+        buffer.evict_oldest()
+        clone = ReorderBuffer()
+        clone.restore(
+            buffer.pending(), buffer.late, buffer.released_through,
+            buffer.peak_occupancy, late_count=buffer.late_count,
+            highest_offered=buffer.highest_offered,
+        )
+        assert clone.release_all() == []
+        assert clone.released_through == 10
+
+
+class TestEvictionHooks:
+    def test_evict_oldest_pops_event_time_order(self):
+        buffer = ReorderBuffer()
+        for it in (item(5, 0), item(2, 1), item(8, 2)):
+            buffer.offer(it)
+        assert buffer.evict_oldest().event_tick == 2
+        assert buffer.occupancy == 2
+        assert buffer.late_count == 0  # evicted, not late
+
+    def test_evict_item_removes_identity_match(self):
+        buffer = ReorderBuffer()
+        target = item(5, 1)
+        buffer.offer(item(3, 0))
+        buffer.offer(target)
+        buffer.offer(item(7, 2))
+        assert buffer.evict_item(target)
+        assert not buffer.evict_item(target)  # already gone
+        assert [i.event_tick for i in buffer.release_all()] == [3, 7]
+
+    def test_oldest_pending_peeks_without_removal(self):
+        buffer = ReorderBuffer()
+        assert buffer.oldest_pending() is None
+        buffer.offer(item(4, 0))
+        assert buffer.oldest_pending().event_tick == 4
+        assert buffer.occupancy == 1

@@ -62,3 +62,33 @@ class TestWatermarkTracker:
         assert clone.watermark() == tracker.watermark() == 8
         clone.observe("a", 40)
         assert clone.watermark() == 36
+
+
+class TestClosedSourceRegistration:
+    """Regression: ``register`` on a closed name used to silently no-op,
+    making a late joiner *look* watermark-held while it never was."""
+
+    def test_register_closed_source_raises(self):
+        tracker = WatermarkTracker(lateness=2)
+        tracker.register("a")
+        tracker.close("a")
+        with pytest.raises(ObserverError, match="cannot be re-registered"):
+            tracker.register("a")
+
+    def test_fresh_name_still_registers(self):
+        tracker = WatermarkTracker(lateness=2)
+        tracker.register("a")
+        tracker.close("a")
+        tracker.register("a2")
+        # The fresh silent source pins the frontier, as registration must.
+        assert tracker.watermark() is None
+
+    def test_is_open_and_ensure_open(self):
+        tracker = WatermarkTracker(lateness=2)
+        tracker.register("a")
+        tracker.close("a")
+        assert not tracker.is_open("a")
+        assert tracker.is_open("b")  # unknown counts open
+        tracker.ensure_open(["b", "c"])
+        with pytest.raises(ObserverError, match="rejected before any item"):
+            tracker.ensure_open(["b", "a"])
