@@ -52,7 +52,9 @@ class AdmissionLimits:
 
     Args:
         max_pending: Reorder-buffer occupancy cap (``None`` =
-            unbounded).  At the cap the shedding policy picks who loses.
+            unbounded).  At the cap the shedding policy picks who loses;
+            a cap of ``0`` sheds every in-order observation and reads as
+            permanently saturated backpressure.
         late_retention: Cap on *retained* late items (the exact late
             count is never capped; see
             :attr:`~repro.stream.reorder.ReorderBuffer.late_count`).
@@ -63,8 +65,12 @@ class AdmissionLimits:
         max_deferred: Cap on the deferral FIFO holding over-rate
             arrivals (``None`` = unbounded deferral; ``0`` = shed
             immediately instead of deferring).
-        backpressure_ratio: Occupancy fraction of ``max_pending`` at
-            which the backpressure signal engages.
+        backpressure_ratio: Fill fraction at which the backpressure
+            signal engages — of ``max_pending`` on the occupancy path
+            and of ``max_deferred`` on the deferral path.  With
+            unbounded deferral (``max_deferred=None``) any parked item
+            engages the signal: nothing but bucket refill drains the
+            queue, so a cooperating producer should slow down at once.
     """
 
     max_pending: int | None = None
@@ -235,19 +241,33 @@ class AdmissionController:
     def backpressure(
         self, occupancy: int, watermark: int | None
     ) -> Backpressure:
-        """The pressure signal for the current buffer/deferral state."""
-        level = 0.0
-        if self.limits.max_pending:
-            level = occupancy / self.limits.max_pending
+        """The pressure signal for the current buffer/deferral state.
+
+        Each bounded dimension reports its own fill level — occupancy
+        against ``max_pending`` (a cap of 0 sheds every in-order offer,
+        so it is saturated by configuration), deferral depth against
+        ``max_deferred`` (saturated the moment anything is parked when
+        deferral is unbounded).  The signal engages when either level
+        reaches :attr:`AdmissionLimits.backpressure_ratio`.
+        """
+        ratio = self.limits.backpressure_ratio
+        occupancy_level = 0.0
+        if self.limits.max_pending is not None:
+            occupancy_level = (
+                occupancy / self.limits.max_pending
+                if self.limits.max_pending
+                else 1.0
+            )
+        deferral_level = 0.0
         if self._deferred:
             if self.limits.max_deferred:
-                level = max(level, len(self._deferred) / self.limits.max_deferred)
+                deferral_level = len(self._deferred) / self.limits.max_deferred
             else:
-                level = 1.0  # over rate with unbounded deferral piling up
-        engaged = bool(self._deferred) or (
-            self.limits.max_pending is not None
-            and level >= self.limits.backpressure_ratio
-        )
+                deferral_level = 1.0  # unbounded deferral piling up
+        engaged = (
+            self.limits.max_pending is not None and occupancy_level >= ratio
+        ) or (bool(self._deferred) and deferral_level >= ratio)
+        level = max(occupancy_level, deferral_level)
         return Backpressure(
             engaged=engaged,
             level=min(1.0, level),

@@ -220,6 +220,12 @@ class StreamingDetectionRuntime:
         tracker; only then does the (possibly advanced) merged watermark
         release buffered observations to the engine, in event-time
         order, grouped by event tick.
+
+        Admission may also re-admit previously deferred items whose
+        buckets have refilled.  Those passed validation in their own
+        step; if their source was closed while they sat deferred they
+        are offered without moving the watermark (see :meth:`_offer`)
+        rather than poisoning this step mid-mutation.
         """
         started = perf_counter()
         self.tracker.ensure_open({item.source for item in items})
@@ -246,8 +252,14 @@ class StreamingDetectionRuntime:
         self.stats.evaluation_time_s += perf_counter() - started
         return matches
 
-    def _offer(self, item: StreamItem, observe: bool = True) -> None:
+    def _offer(self, item: StreamItem) -> None:
         """Offer one admitted item, enforcing the occupancy cap.
+
+        The watermark notes the arrival only while the item's source is
+        still open: an item drained from the deferral queue after its
+        source closed (the step it arrived in was validated back then)
+        no longer moves the frontier — a closed source already promised
+        everything — and is simply classified in-order or late below.
 
         At the cap (bounded runtimes only, and never for late items —
         those land in the separately-bounded late list) the shedding
@@ -255,7 +267,7 @@ class StreamingDetectionRuntime:
         item.  Either loser is counted in ``stats.shed_observations``
         and the controller's per-class breakdown.
         """
-        if observe:
+        if self.tracker.is_open(item.source):
             self.tracker.observe(item.source, item.event_tick)
         if self.admission is not None:
             cap = self.admission.limits.max_pending
@@ -321,7 +333,7 @@ class StreamingDetectionRuntime:
                 # A source closed mid-run no longer moves the watermark;
                 # its flushed stragglers are offered (and usually found
                 # late) without re-opening it.
-                self._offer(item, observe=self.tracker.is_open(item.source))
+                self._offer(item)
             if self.buffer.peak_occupancy > self.stats.reorder_peak:
                 self.stats.reorder_peak = self.buffer.peak_occupancy
         self.tracker.close_all()

@@ -223,10 +223,30 @@ class TestAdmissionController:
         assert hot.pending_limit == 10 and hot.watermark == 3
 
     def test_deferral_engages_backpressure(self):
+        # Unbounded deferral: any parked item is full pressure (only
+        # bucket refill ever drains the queue).
         controller = AdmissionController(AdmissionLimits(rate=1.0, burst=1))
         controller.intake([item(0, seq=s, arrival=0) for s in range(3)])
         signal = controller.backpressure(occupancy=0, watermark=None)
         assert signal.engaged and signal.level == 1.0 and signal.deferred == 2
+
+    def test_deferral_depth_is_gated_by_backpressure_ratio(self):
+        controller = AdmissionController(
+            AdmissionLimits(rate=1.0, burst=1, max_deferred=4)
+        )
+        controller.intake([item(0, seq=s, arrival=0) for s in range(2)])
+        shallow = controller.backpressure(occupancy=0, watermark=None)
+        assert not shallow.engaged and shallow.level == 0.25
+        controller.intake([item(0, seq=s, arrival=0) for s in range(2, 4)])
+        deep = controller.backpressure(occupancy=0, watermark=None)
+        assert deep.engaged and deep.level == 0.75 and deep.deferred == 3
+
+    def test_zero_occupancy_cap_reads_saturated(self):
+        # max_pending=0 sheds every in-order offer; the signal must say
+        # so instead of reporting level 0 forever.
+        controller = AdmissionController(AdmissionLimits(max_pending=0))
+        signal = controller.backpressure(occupancy=0, watermark=None)
+        assert signal.engaged and signal.level == 1.0
 
     def test_snapshot_restore_round_trip(self):
         limits = AdmissionLimits(rate=0.5, burst=2, max_deferred=8)
@@ -349,6 +369,37 @@ class TestBoundedRuntime:
             + runtime.buffer.late_count
             + runtime.stats.shed_observations
             == 2
+        )
+
+    def test_deferred_item_from_since_closed_source_drains_cleanly(self):
+        runtime = StreamingDetectionRuntime(
+            lateness=0,
+            admission=AdmissionController(
+                AdmissionLimits(rate=1.0, burst=1)
+            ),
+        )
+        runtime.register_source("a")
+        runtime.register_source("b")
+        runtime.ingest(
+            [
+                item(0, seq=0, arrival=0, source="a"),
+                item(0, seq=1, arrival=0, source="a"),  # over rate: defers
+            ]
+        )
+        assert runtime.admission.deferred_depth == 1
+        runtime.close_source("a")
+        # The deferred item's source closed while it waited.  The next
+        # step names only open sources, so it must drain the refilled
+        # deferral queue without raising mid-mutation — the straggler is
+        # offered without re-opening "a" and stays on the books.
+        runtime.ingest([item(5, seq=2, arrival=5, source="b")])
+        assert runtime.admission.deferred_depth == 0
+        runtime.finish()
+        assert (
+            runtime.released_items
+            + runtime.buffer.late_count
+            + runtime.stats.shed_observations
+            == 3
         )
 
     def test_priority_protects_safety_critical_under_cap(self):
