@@ -1,4 +1,4 @@
-"""E12–E15 — hot path, shard scaling, streaming replay, bounded ingest.
+"""E12–E16 — hot path, sharding, streaming, bounded ingest, resilience.
 
 Two faces:
 
@@ -11,22 +11,29 @@ Two faces:
   reorder buffer, in-order vs jittered, exactness asserted inside the
   harness), and the E15 bounded-ingestion rows (per-policy shedding
   recall against the unshedded golden replay, conservation and the
-  occupancy cap asserted inside the harness);
+  occupancy cap asserted inside the harness), and the E16 resilience
+  rows (supervised-recovery overhead against the unsupervised replay,
+  checkpoint-interval sensitivity, and a faulted leg whose exactness
+  is asserted inside the harness);
 * **CLI** (``python benchmarks/bench_hotpath.py [--quick] [--out F]``):
   writes the JSON perf report.  Full runs produce the tracked
-  ``BENCH_PR7.json``: the E12 compiled-vs-interpreted matrix over every
+  ``BENCH_PR8.json``: the E12 compiled-vs-interpreted matrix over every
   registered scenario's *medium* preset, the E13 shard-scaling sweep
   (1/2/4/8 shards on ``high_density`` and ``sharded_metro`` medium),
   the E14 streaming section (``jittery_corridor`` + ``high_density``
-  medium, shards 1 and 4) and the E15 admission section
+  medium, shards 1 and 4), the E15 admission section
   (``overload_surge`` medium: unbounded golden, capped replays per
-  shedding policy, paced-vs-unpaced rate limiting).  ``--quick`` is
-  the CI smoke mode — small subsets with hard failures if the compiled
-  path is slower than the interpreted one, the memo cache never hits,
-  the sharded backend is slower than the single-engine (naive)
-  detection path, jittered streaming replay costs more than
-  ``STREAM_GATE_OVERHEAD`` times the in-order replay, or every
-  shedding policy's recall falls below ``ADMISSION_GATE_RECALL``.
+  shedding policy, paced-vs-unpaced rate limiting) and the E16
+  resilience section (``flaky_uplink`` medium: unsupervised floor,
+  supervised no-fault sweep over checkpoint intervals, seeded faulted
+  leg).  ``--quick`` is the CI smoke mode — small subsets with hard
+  failures if the compiled path is slower than the interpreted one,
+  the memo cache never hits, the sharded backend is slower than the
+  single-engine (naive) detection path, jittered streaming replay
+  costs more than ``STREAM_GATE_OVERHEAD`` times the in-order replay,
+  every shedding policy's recall falls below
+  ``ADMISSION_GATE_RECALL``, or fault-free supervision costs more than
+  ``RESILIENCE_GATE_OVERHEAD`` times the unsupervised replay.
 """
 
 import argparse
@@ -53,6 +60,13 @@ ADMISSION_GATE_RECALL = 0.5
 reorder buffer at half its unbounded peak must leave at least one
 policy that keeps half the golden matches — otherwise admission
 control is destroying detections, not trading them for memory."""
+
+RESILIENCE_GATE_OVERHEAD = 1.25
+"""Quick-mode ceiling on fault-free supervision at the default
+checkpoint interval: the supervisor's checkpoints, ack floor, dedup and
+quarantine gates together must not cost more than 25% over the
+unsupervised streaming replay — recovery insurance has to be cheap
+enough to leave on."""
 
 
 # ----------------------------------------------------------------------
@@ -218,6 +232,57 @@ class TestE15BoundedAdmission:
         )
 
 
+class TestE16SupervisedResilience:
+    def test_resilience_rows(self, benchmark, report, quick):
+        preset = "small" if quick else "medium"
+        repeats = 1 if quick else 2
+
+        def run():
+            return report_harness.resilience_report(
+                preset=preset, repeats=repeats
+            )
+
+        payload = benchmark.pedantic(run, rounds=1, iterations=1)
+        unsupervised = payload["unsupervised"]
+        report(
+            f"[E16] {payload['scenario']:<16} preset={preset:<6} "
+            f"taps={len(payload['taps'])} obs={payload['observations']} "
+            f"unsupervised {unsupervised['obs_per_s']:.0f} obs/s "
+            f"matches={payload['golden_matches']}"
+        )
+        for interval, row in payload["supervised_no_fault"].items():
+            report(
+                f"[E16] no-fault interval={interval:<4} "
+                f"overhead={row['overhead']:.2f}x "
+                f"checkpoints={row['checkpoints']:<4} "
+                f"({row['obs_per_s']:.0f} obs/s)"
+            )
+            # Exactness, conservation and zero recoveries are asserted
+            # inside the harness; the rows pin the bookkeeping that
+            # stays noise-proof.
+            assert row["recoveries"] == 0
+            assert row["checkpoints"] >= 1
+        # Denser checkpointing can only take more checkpoints.
+        checkpoint_counts = [
+            payload["supervised_no_fault"][str(i)]["checkpoints"]
+            for i in sorted(
+                (int(k) for k in payload["supervised_no_fault"]),
+            )
+        ]
+        assert checkpoint_counts == sorted(checkpoint_counts, reverse=True)
+        faulted = payload["faulted"]
+        report(
+            f"[E16] faulted  interval={payload['default_interval']:<4} "
+            f"recovery_overhead={faulted['recovery_overhead']:.2f}x "
+            f"recoveries={faulted['recoveries']} "
+            f"duplicates_dropped={faulted['duplicates_dropped']} "
+            f"quarantined={faulted['quarantined']}"
+        )
+        assert faulted["recoveries"] == payload["fault_plan"]["crashes"]
+        assert faulted["quarantined"] >= 1
+        assert faulted["duplicates_dropped"] >= 1
+
+
 # ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
@@ -234,8 +299,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--out",
-        default="BENCH_PR7.json",
-        help="output JSON path (default: BENCH_PR7.json)",
+        default="BENCH_PR8.json",
+        help="output JSON path (default: BENCH_PR8.json)",
     )
     parser.add_argument(
         "--skip-sharding",
@@ -251,6 +316,11 @@ def main(argv: list[str] | None = None) -> int:
         "--skip-admission",
         action="store_true",
         help="omit the E15 bounded-ingestion section (and its gate)",
+    )
+    parser.add_argument(
+        "--skip-resilience",
+        action="store_true",
+        help="omit the E16 supervised-resilience section (and its gate)",
     )
     parser.add_argument(
         "--shard-repeats",
@@ -406,6 +476,49 @@ def main(argv: list[str] | None = None) -> int:
                     f"{admission['scenario']}: the paced source shed more "
                     f"({pacing['paced']['shed']}) than the uncooperative "
                     f"one ({pacing['unpaced']['shed']})"
+                )
+    if not args.skip_resilience:
+        resilience = report_harness.resilience_report(
+            preset=preset, repeats=repeats
+        )
+        payload["resilience"] = resilience
+        unsupervised = resilience["unsupervised"]
+        print(
+            f"{resilience['scenario']:<22} {preset:<7} resilience "
+            f"taps={len(resilience['taps'])} "
+            f"obs={resilience['observations']} "
+            f"unsupervised={unsupervised['obs_per_s']:.0f} obs/s "
+            f"matches={resilience['golden_matches']}"
+        )
+        for interval, row in sorted(
+            resilience["supervised_no_fault"].items(),
+            key=lambda kv: int(kv[0]),
+        ):
+            print(
+                f"{'':<22} {preset:<7}   no-fault interval={interval:<4} "
+                f"overhead={row['overhead']:>5.2f}x "
+                f"checkpoints={row['checkpoints']:<4} "
+                f"({row['obs_per_s']:.0f} obs/s)"
+            )
+        faulted = resilience["faulted"]
+        print(
+            f"{'':<22} {preset:<7}   faulted  "
+            f"interval={resilience['default_interval']:<4} "
+            f"recovery_overhead={faulted['recovery_overhead']:>5.2f}x "
+            f"recoveries={faulted['recoveries']} "
+            f"dups={faulted['duplicates_dropped']} "
+            f"quarantined={faulted['quarantined']}"
+        )
+        if args.quick:
+            gate_row = resilience["supervised_no_fault"][
+                str(resilience["default_interval"])
+            ]
+            if gate_row["overhead"] > RESILIENCE_GATE_OVERHEAD:
+                failures.append(
+                    f"{resilience['scenario']}: fault-free supervision at "
+                    f"interval {resilience['default_interval']} costs "
+                    f"{gate_row['overhead']:.2f}x the unsupervised replay "
+                    f"(gate {RESILIENCE_GATE_OVERHEAD}x)"
                 )
     path = report_harness.write_report(args.out, payload)
     for name, row in payload["scenarios"].items():

@@ -48,6 +48,7 @@ __all__ = [
     "shard_scaling_report",
     "streaming_report",
     "admission_report",
+    "resilience_report",
     "routing_microbench",
     "write_report",
 ]
@@ -86,6 +87,20 @@ should avoid."""
 
 ADMISSION_SLOWDOWN = 2
 """Arrival-tick delay a paced source adds per backpressure signal."""
+
+RESILIENCE_SCENARIO = "flaky_uplink"
+"""Family the fault-recovery rows run: the lossy, jittery uplink whose
+thinned, reordered rover sightings the resilience stack was built for."""
+
+RESILIENCE_INTERVALS = (8, 32, 128)
+"""Checkpoint intervals (delivery steps) of the supervision-overhead
+sensitivity sweep: frequent, default and sparse."""
+
+RESILIENCE_DEFAULT_INTERVAL = 32
+"""The interval the overhead gate and the faulted leg run at."""
+
+RESILIENCE_FAULT_SEED = 20260808
+"""Seed of the faulted leg's :meth:`FaultPlan.seeded` schedule."""
 
 SHARD_SCALING_SCENARIOS = ("high_density", "sharded_metro")
 """Families the shard-scaling rows run: the hash-grid stress workload
@@ -653,6 +668,262 @@ def admission_report(
             if unpaced["shed"]
             else 0.0,
         },
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    del scenario, taps
+    return payload
+
+
+def resilience_report(
+    name: str = RESILIENCE_SCENARIO,
+    preset: str = "medium",
+    lateness: int = STREAMING_LATENESS,
+    repeats: int = 3,
+    intervals: tuple[int, ...] = RESILIENCE_INTERVALS,
+) -> dict:
+    """Supervised-recovery rows (the BENCH_PR8 section).
+
+    One live run of the resilience family with stream taps, then
+    replays of **every** tapped observer's jittered feed, wall time
+    summed across taps (the detection-heavy sink feed and the
+    high-volume CCU feed weight the ratio by their real cost, exactly
+    as a supervised deployment would pay it):
+
+    * ``unsupervised`` — the plain streaming replay, no supervisor, no
+      dedup, no quarantine: the cost floor everything else is measured
+      against (exactness asserted against the live emission);
+    * ``supervised_no_fault`` — one row per checkpoint interval: the
+      full resilience stack (supervisor checkpoints, ack floor,
+      redelivery dedup, quarantine) on a fault-free stream; ``overhead``
+      is the wall-time ratio against the unsupervised floor — the price
+      of *being able* to recover when nothing goes wrong, the number the
+      CI gate bounds at the default interval;
+    * ``faulted`` — a seeded plan (crashes, duplicate bursts, corrupt
+      payloads, a stall) at the default interval: ``recovery_overhead``
+      is its wall time over the matching no-fault row — the marginal
+      price of *actually* recovering.
+
+    Exactness is asserted on every leg (the recovered emission must
+    equal the live run's, with zero late observations), conservation on
+    every supervised one — a supervisor that loses or re-emits
+    observations fails the report instead of shipping a number.
+    """
+    from repro.stream import (
+        CheckpointPolicy,
+        FaultPlan,
+        FaultySource,
+        JitteredSource,
+        Quarantine,
+        RedeliveryDeduper,
+        ReplayObserver,
+        SupervisedRuntime,
+        profile_of,
+    )
+
+    gc.collect()
+    scenario = build_scenario(name, preset=preset)
+    taps = scenario.system.attach_stream_taps()
+    scenario.system.run(until=scenario.params["horizon"])
+    profiles = {
+        tap_name: profile_of(
+            scenario.system.sinks.get(tap_name)
+            or scenario.system.ccus[tap_name]
+        )
+        for tap_name in taps
+    }
+    golden = {
+        tap_name: [
+            i.key
+            for i in (
+                scenario.system.sinks.get(tap_name)
+                or scenario.system.ccus[tap_name]
+            ).emitted
+        ]
+        for tap_name in taps
+    }
+    offered = sum(tap.observation_count for tap in taps.values())
+
+    def jittered(tap):
+        return JitteredSource(tap, max_delay=lateness, seed=0)
+
+    def check_exact(replayer, tap_name: str, leg: str) -> None:
+        stats = replayer.runtime.stats
+        assert stats.late_observations == 0, (
+            f"{name}/{tap_name}/{leg}: within-bound jitter produced "
+            f"{stats.late_observations} late observations"
+        )
+        assert [i.key for i in replayer.emitted] == golden[tap_name], (
+            f"{name}/{tap_name}/{leg}: replay diverged from the live run"
+        )
+
+    def unsupervised_once() -> dict:
+        gc.collect()
+        wall = 0.0
+        for tap_name, tap in taps.items():
+            source = jittered(tap)  # eager: built outside the window
+            replayer = ReplayObserver(profiles[tap_name], lateness=lateness)
+            start = time.perf_counter()
+            replayer.replay(source)
+            wall += time.perf_counter() - start
+            check_exact(replayer, tap_name, "unsupervised")
+        return {
+            "wall_s": round(wall, 6),
+            "obs_per_s": round(offered / wall, 1) if wall else 0.0,
+        }
+
+    def supervised_once(
+        interval: int, plans: dict[str, FaultPlan], leg: str
+    ) -> dict:
+        gc.collect()
+        wall = 0.0
+        checkpoints = recoveries = duplicates = quarantined = 0
+        for tap_name, tap in taps.items():
+            plan = plans[tap_name]
+            source = FaultySource(
+                jittered(tap), plan, redelivery_overlap=1
+            )
+            replayer = ReplayObserver(
+                profiles[tap_name],
+                lateness=lateness,
+                dedup=RedeliveryDeduper(),
+                quarantine=Quarantine(),
+            )
+            supervisor = SupervisedRuntime(
+                replayer, checkpoints=CheckpointPolicy(every_steps=interval)
+            )
+            start = time.perf_counter()
+            supervisor.run(source)
+            wall += time.perf_counter() - start
+            check_exact(replayer, tap_name, leg)
+            runtime = replayer.runtime
+            stats = runtime.stats
+            assert (
+                runtime.released_items
+                + stats.late_observations
+                + stats.shed_observations
+                == tap.observation_count
+            ), f"{name}/{tap_name}/{leg}: conservation broken"
+            assert supervisor.recoveries == len(plan.crashes), (
+                f"{name}/{tap_name}/{leg}: {supervisor.recoveries} "
+                f"recoveries for {len(plan.crashes)} planned crash(es)"
+            )
+            checkpoints += supervisor.checkpoints_taken
+            recoveries += supervisor.recoveries
+            duplicates += stats.duplicates_dropped
+            quarantined += stats.quarantined_observations
+        return {
+            "wall_s": round(wall, 6),
+            "obs_per_s": round(offered / wall, 1) if wall else 0.0,
+            "checkpoints": checkpoints,
+            "recoveries": recoveries,
+            "duplicates_dropped": duplicates,
+            "quarantined": quarantined,
+        }
+
+    steps = {
+        tap_name: FaultySource(jittered(tap)).steps
+        for tap_name, tap in taps.items()
+    }
+    no_fault_plans = {tap_name: FaultPlan() for tap_name in taps}
+    fault_plans = {
+        tap_name: FaultPlan.seeded(
+            RESILIENCE_FAULT_SEED + index,
+            steps[tap_name],
+            crashes=1,
+            duplicate_bursts=1,
+            corruptions=1,
+            stalls=1,
+        )
+        for index, tap_name in enumerate(sorted(taps))
+        if steps[tap_name] > 0
+    } | {
+        tap_name: FaultPlan()
+        for tap_name in taps
+        if steps[tap_name] == 0
+    }
+    planned_crashes = sum(len(p.crashes) for p in fault_plans.values())
+
+    # Measure every leg in interleaved rounds (see shard_scaling_report):
+    # the overhead ratios are small, so sequential best-of-N blocks would
+    # absorb any background-load drift between one leg's block and
+    # another's straight into the ratio.
+    legs: list[tuple[str, callable]] = [("unsupervised", unsupervised_once)]
+    legs += [
+        (
+            f"no_fault@{interval}",
+            lambda interval=interval: supervised_once(
+                interval, no_fault_plans, f"no_fault@{interval}"
+            ),
+        )
+        for interval in intervals
+    ]
+    legs.append(
+        (
+            "faulted",
+            lambda: supervised_once(
+                RESILIENCE_DEFAULT_INTERVAL, fault_plans, "faulted"
+            ),
+        )
+    )
+    best: dict[str, dict] = {}
+    for _ in range(max(1, repeats)):
+        for label, run_once in legs:
+            result = run_once()
+            if label not in best or result["wall_s"] < best[label]["wall_s"]:
+                best[label] = result
+
+    unsupervised = best["unsupervised"]
+    no_fault: dict[str, dict] = {}
+    for interval in intervals:
+        row = best[f"no_fault@{interval}"]
+        row["overhead"] = (
+            round(row["wall_s"] / unsupervised["wall_s"], 2)
+            if unsupervised["wall_s"]
+            else 0.0
+        )
+        no_fault[str(interval)] = row
+
+    faulted = best["faulted"]
+    assert faulted["recoveries"] == planned_crashes >= 1
+    assert faulted["duplicates_dropped"] >= 1, (
+        f"{name}: the faulted leg's redelivery never produced a dropped "
+        f"duplicate — the dedup gate measured nothing"
+    )
+    assert faulted["quarantined"] >= 1, (
+        f"{name}: the faulted leg never quarantined a corrupt observation"
+    )
+    baseline = no_fault[str(RESILIENCE_DEFAULT_INTERVAL)]
+    faulted["recovery_overhead"] = (
+        round(faulted["wall_s"] / baseline["wall_s"], 2)
+        if baseline["wall_s"]
+        else 0.0
+    )
+
+    payload = {
+        "scenario": name,
+        "preset": preset,
+        "lateness": lateness,
+        "repeats": repeats,
+        "taps": sorted(taps),
+        "observations": offered,
+        "delivery_steps": steps,
+        "golden_matches": sum(len(keys) for keys in golden.values()),
+        "fault_seed": RESILIENCE_FAULT_SEED,
+        "fault_plan": {
+            "crashes": planned_crashes,
+            "duplicate_bursts": sum(
+                len(p.duplicates) for p in fault_plans.values()
+            ),
+            "corruptions": sum(
+                len(p.corruptions) for p in fault_plans.values()
+            ),
+            "stalls": sum(len(p.stalls) for p in fault_plans.values()),
+        },
+        "default_interval": RESILIENCE_DEFAULT_INTERVAL,
+        "unsupervised": unsupervised,
+        "supervised_no_fault": no_fault,
+        "faulted": faulted,
         "python": platform.python_version(),
         "platform": platform.platform(),
     }

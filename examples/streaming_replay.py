@@ -15,7 +15,13 @@ with a stream tap, then:
    an admission controller caps reorder occupancy and sheds under
    pressure with every loss on the books
    (``released + late + shed == offered``), while a cooperating
-   :class:`PacedSource` honors backpressure and sheds nothing.
+   :class:`PacedSource` honors backpressure and sheds nothing;
+5. crashes the replay mid-stream — a :class:`FaultySource` injects
+   crashes, duplicate bursts and a corrupt payload into the
+   ``flaky_uplink`` feed, and a :class:`SupervisedRuntime` recovers
+   from its last checkpoint through at-least-once redelivery, with the
+   dedup gate and the quarantine turning that into an exactly-once,
+   byte-identical emission.
 
 Run:  PYTHONPATH=src python examples/streaming_replay.py
 """
@@ -28,9 +34,15 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 from repro.stream import (
     AdmissionController,
     AdmissionLimits,
+    CheckpointPolicy,
+    FaultPlan,
+    FaultySource,
     JitteredSource,
     PacedSource,
+    Quarantine,
+    RedeliveryDeduper,
     ReplayObserver,
+    SupervisedRuntime,
     profile_of,
 )
 from repro.stream.runtime import arrival_groups
@@ -171,6 +183,61 @@ def main() -> None:
         f"{paced.runtime.stats.shed_observations} after honoring "
         f"{paced_source.throttle_count} backpressure signals"
     )
+
+    # -- 5) crash mid-stream, recover, emit exactly once ---------------
+    flaky = build_scenario("flaky_uplink", preset="small")
+    flaky_taps = flaky.system.attach_stream_taps()
+    flaky.system.run(until=flaky.params["horizon"])
+    uplink_sink = flaky.system.sinks[SINK]
+    uplink_tap = flaky_taps[SINK]
+    uplink_profile = profile_of(uplink_sink)
+
+    clean = ReplayObserver(uplink_profile, lateness=LATENESS)
+    clean.replay(JitteredSource(uplink_tap, max_delay=LATENESS, seed=7))
+
+    faulty = FaultySource(
+        JitteredSource(uplink_tap, max_delay=LATENESS, seed=7),
+        FaultPlan.seeded(
+            seed=42,
+            steps=FaultySource(
+                JitteredSource(uplink_tap, max_delay=LATENESS, seed=7)
+            ).steps,
+            crashes=2,
+            duplicate_bursts=2,
+            corruptions=1,
+        ),
+        redelivery_overlap=1,
+    )
+    recovered = ReplayObserver(
+        uplink_profile,
+        lateness=LATENESS,
+        dedup=RedeliveryDeduper(),
+        quarantine=Quarantine(),
+    )
+    supervisor = SupervisedRuntime(
+        recovered, checkpoints=CheckpointPolicy(every_steps=8)
+    )
+    supervisor.run(faulty)
+    r_stats = recovered.runtime.stats
+    print(
+        f"flaky_uplink: {uplink_tap.observation_count} observations, "
+        f"{faulty.crash_count} crash(es) injected — supervisor recovered "
+        f"{supervisor.recoveries} time(s) from "
+        f"{supervisor.checkpoints_taken} checkpoint(s) "
+        f"(backoff delays: {list(supervisor.backoff_delays)})"
+    )
+    print(
+        f"exactly-once after redelivery: "
+        f"{r_stats.duplicates_dropped} duplicates dropped, "
+        f"{r_stats.quarantined_observations} corrupt observation(s) "
+        f"quarantined, identical to unfaulted replay: "
+        f"{recovered.trace_rows == clean.trace_rows}"
+    )
+    for dead in recovered.runtime.quarantine.items:
+        print(
+            f"  quarantined: source={dead.source!r} seq={dead.seq} "
+            f"entity={dead.entity!r}"
+        )
 
 
 if __name__ == "__main__":

@@ -145,6 +145,21 @@ class EngineStats:
     backpressure_events: int = 0
     """Delivery steps that ended with the backpressure signal engaged —
     the steps at which a cooperating source is asked to slow down."""
+    recoveries: int = 0
+    """Supervised crash recoveries absorbed so far: each is one caught
+    :class:`~repro.stream.resilience.faults.SourceCrash` followed by a
+    checkpoint restore and a source reconnect.  Always zero outside
+    :class:`~repro.stream.resilience.supervisor.SupervisedRuntime`."""
+    duplicates_dropped: int = 0
+    """Redelivered observations rejected by the dedup record — the
+    at-least-once surplus (crash redelivery overlap, retransmit bursts)
+    that never reached the watermark or the engine.  Always zero
+    without a :class:`~repro.stream.resilience.dedup.RedeliveryDeduper`."""
+    quarantined_observations: int = 0
+    """Corrupt or unparseable deliveries intercepted by the quarantine's
+    validator and dead-lettered — measured poison, never a crash and
+    never a silent drop.  Always zero without a
+    :class:`~repro.stream.resilience.quarantine.Quarantine`."""
     evaluation_time_s: float = 0.0
     """Wall-clock seconds spent inside :meth:`DetectionEngine.submit_batch`
     (selector routing, window/index maintenance, enumeration and condition
@@ -192,6 +207,9 @@ class EngineStats:
             total.shed_observations += part.shed_observations
             total.deferred_observations += part.deferred_observations
             total.backpressure_events += part.backpressure_events
+            total.recoveries += part.recoveries
+            total.duplicates_dropped += part.duplicates_dropped
+            total.quarantined_observations += part.quarantined_observations
             total.evaluation_time_s += part.evaluation_time_s
         return total
 

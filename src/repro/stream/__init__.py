@@ -32,7 +32,14 @@ streaming toolkit:
   token-bucket rate limits, priority classes, occupancy caps with
   pluggable shedding policies, and backpressure signaling
   (:class:`AdmissionController` installed via the runtime's
-  ``admission=`` argument).
+  ``admission=`` argument);
+* :mod:`repro.stream.resilience` — fault injection and supervised
+  crash recovery: deterministic :class:`FaultPlan` schedules injected
+  by :class:`FaultySource`, checkpoint-and-reconnect supervision with
+  bounded deterministic backoff (:class:`SupervisedRuntime`),
+  redelivery dedup (:class:`RedeliveryDeduper`) and a corrupt-payload
+  :class:`Quarantine` — at-least-once transports replay the golden
+  digests exactly-once.
 """
 
 from repro.stream.admission import (
@@ -47,6 +54,18 @@ from repro.stream.admission import (
 from repro.stream.capture import StreamTap
 from repro.stream.reorder import ReorderBuffer
 from repro.stream.replay import ObserverProfile, ReplayObserver, profile_of
+from repro.stream.resilience import (
+    BackoffPolicy,
+    CheckpointPolicy,
+    CorruptObservation,
+    FaultPlan,
+    FaultySource,
+    Quarantine,
+    RecoveryExhausted,
+    RedeliveryDeduper,
+    SourceCrash,
+    SupervisedRuntime,
+)
 from repro.stream.runtime import (
     RuntimeCheckpoint,
     StreamingDetectionRuntime,
@@ -81,4 +100,14 @@ __all__ = [
     "PacedSource",
     "Priority",
     "PriorityMap",
+    "FaultPlan",
+    "FaultySource",
+    "SourceCrash",
+    "CorruptObservation",
+    "RedeliveryDeduper",
+    "Quarantine",
+    "SupervisedRuntime",
+    "CheckpointPolicy",
+    "BackoffPolicy",
+    "RecoveryExhausted",
 ]

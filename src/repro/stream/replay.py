@@ -125,6 +125,14 @@ class ReplayObserver:
             straight to the runtime — replays under resource bounds,
             which is how the benchmark harness measures each shedding
             policy's recall cost against the unbounded golden replay.
+        quarantine: Optional
+            :class:`~repro.stream.resilience.quarantine.Quarantine`
+            handed to the runtime — corrupt deliveries are dead-lettered
+            before they can touch the watermark or the engine.
+        dedup: Optional
+            :class:`~repro.stream.resilience.dedup.RedeliveryDeduper`
+            handed to the runtime — at-least-once redelivery (the
+            supervised-recovery transport) replays exactly-once.
     """
 
     profile: ObserverProfile
@@ -133,6 +141,8 @@ class ReplayObserver:
     bounds: BoundingBox | None = None
     partition: str = "grid"
     admission: AdmissionController | None = None
+    quarantine: object | None = None
+    dedup: object | None = None
     emitted: list[EventInstance] = field(default_factory=list)
     trace_rows: list[TraceRecord] = field(default_factory=list)
 
@@ -165,6 +175,8 @@ class ReplayObserver:
             lateness=self.lateness,
             on_match=self._emit,
             admission=self.admission,
+            quarantine=self.quarantine,
+            dedup=self.dedup,
         )
         self._seq: dict[str, int] = {}
 
@@ -249,3 +261,27 @@ class ReplayObserver:
         self._seq = dict(checkpoint.seq)
         self.emitted.clear()
         self.trace_rows.clear()
+
+    def rollback(self, checkpoint: ReplayCheckpoint) -> None:
+        """Rewind *this* observer to one of its own earlier checkpoints.
+
+        Unlike :meth:`restore` (which starts the emission log empty for
+        a fresh resume leg), a rollback *truncates* ``emitted`` /
+        ``trace_rows`` to the checkpoint's count: post-checkpoint
+        emissions are discarded and will be re-produced on redelivery.
+        This is the crash-recovery path —
+        :class:`~repro.stream.resilience.supervisor.SupervisedRuntime`
+        prefers it when present, which is what keeps a recovered
+        replay's output log exactly-once.
+        """
+        if checkpoint.emitted_count > len(self.emitted):
+            raise ObserverError(
+                f"cannot roll back to a checkpoint with "
+                f"{checkpoint.emitted_count} emissions: this observer "
+                f"has only {len(self.emitted)} (was it restored fresh? "
+                f"use restore() for resume legs)"
+            )
+        self.runtime.restore(checkpoint.runtime)
+        self._seq = dict(checkpoint.seq)
+        del self.emitted[checkpoint.emitted_count:]
+        del self.trace_rows[checkpoint.emitted_count:]

@@ -1,0 +1,111 @@
+"""Redelivery dedup: per-source sequence high-water plus in-flight set.
+
+At-least-once transports (crash redelivery, retransmit storms, acks
+lost in flight) deliver the same observation more than once.  Since a
+:class:`~repro.stream.source.StreamItem`'s ``(source, seq)`` pair is a
+durable identity — ``seq`` is the item's position in the original
+in-order stream — duplicates are exactly detectable, no payload
+hashing required.
+
+Per source the deduper keeps the classic two-part acceptance record:
+
+* ``high_water`` — every sequence number up to and including it has
+  been accepted (a single integer covers the common in-order prefix);
+* an **in-flight set** of accepted sequence numbers *above* the high
+  water (bounded by the stream's disorder: once the gap fills, the
+  prefix compacts into the high water and the set drains).
+
+:meth:`RedeliveryDeduper.admit` is the whole protocol: ``True`` exactly
+once per identity, ``False`` for every redelivery.  The state is
+checkpointable (:meth:`snapshot` / :meth:`restore`) and travels inside
+:class:`~repro.stream.runtime.RuntimeCheckpoint`, so a restored runtime
+re-accepts exactly the deliveries its checkpoint had not seen — which
+is what makes supervised crash recovery effectively exactly-once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.stream.source import StreamItem
+
+__all__ = ["RedeliveryDeduper", "DedupSnapshot"]
+
+
+@dataclass(frozen=True)
+class DedupSnapshot:
+    """Checkpoint of the acceptance record (per-source high waters and
+    the accepted sequence numbers above them)."""
+
+    high_water: Mapping[str, int]
+    in_flight: Mapping[str, tuple[int, ...]]
+
+
+class RedeliveryDeduper:
+    """First-delivery filter over ``(source, seq)`` identities."""
+
+    def __init__(self) -> None:
+        self._high: dict[str, int] = {}
+        self._seen: dict[str, set[int]] = {}
+        self.duplicates_dropped = 0
+        """Lifetime redeliveries rejected, rolled-back history included
+        (the checkpoint-consistent count is
+        :attr:`~repro.detect.engine.EngineStats.duplicates_dropped`,
+        which the runtime maintains and restores with its stats)."""
+
+    def is_duplicate(self, item: StreamItem) -> bool:
+        """Whether ``item`` was already accepted (no state change)."""
+        if item.seq <= self._high.get(item.source, -1):
+            return True
+        return item.seq in self._seen.get(item.source, ())
+
+    def admit(self, item: StreamItem) -> bool:
+        """Accept a first delivery (``True``) or reject a redelivery.
+
+        Accepting compacts: contiguous accepted prefixes fold into the
+        per-source high water so the in-flight set stays bounded by the
+        stream's instantaneous disorder, not its length.
+        """
+        if self.is_duplicate(item):
+            self.duplicates_dropped += 1
+            return False
+        high = self._high.get(item.source, -1)
+        seen = self._seen.setdefault(item.source, set())
+        seen.add(item.seq)
+        while high + 1 in seen:
+            high += 1
+            seen.discard(high)
+        self._high[item.source] = high
+        return True
+
+    @property
+    def tracked_sources(self) -> tuple[str, ...]:
+        """Sources with acceptance state, in first-seen order."""
+        return tuple(self._high)
+
+    def in_flight(self, source: str) -> int:
+        """Accepted sequence numbers above the source's high water."""
+        return len(self._seen.get(source, ()))
+
+    # -- checkpoint / restore ------------------------------------------
+
+    def snapshot(self) -> DedupSnapshot:
+        """Capture the acceptance record (counters excluded — those
+        live in the runtime's stats and roll back with them)."""
+        return DedupSnapshot(
+            high_water=dict(self._high),
+            in_flight={
+                source: tuple(sorted(seen))
+                for source, seen in self._seen.items()
+                if seen
+            },
+        )
+
+    def restore(self, snapshot: DedupSnapshot) -> None:
+        """Reload the acceptance record from a checkpoint."""
+        self._high = dict(snapshot.high_water)
+        self._seen = {
+            source: set(seqs)
+            for source, seqs in snapshot.in_flight.items()
+        }

@@ -124,6 +124,20 @@ class RuntimeCheckpoint:
     admission: AdmissionSnapshot | None = None
     """Admission-controller state (deferred items, bucket levels, policy
     state, shed counters); ``None`` when the runtime ran unbounded."""
+    lateness: int | None = None
+    """Lateness bound the checkpoint was taken under.  Restoring into a
+    runtime with a different bound would silently change watermark
+    semantics mid-stream, so :meth:`StreamingDetectionRuntime.restore`
+    rejects a mismatch (``None`` in pre-resilience checkpoints, which
+    restore without the check)."""
+    dedup: object | None = None
+    """Redelivery-dedup acceptance record
+    (:class:`~repro.stream.resilience.dedup.DedupSnapshot`); ``None``
+    when the runtime ran without a deduper."""
+    quarantine: object | None = None
+    """Dead-letter queue state
+    (:class:`~repro.stream.resilience.quarantine.QuarantineSnapshot`);
+    ``None`` when the runtime ran without a quarantine."""
 
 
 class StreamingDetectionRuntime:
@@ -148,6 +162,20 @@ class StreamingDetectionRuntime:
             backpressure.  ``None`` (the default) runs unbounded; a
             controller with default :class:`~repro.stream.admission.AdmissionLimits`
             is behavior-identical to ``None``.
+        quarantine: Optional
+            :class:`~repro.stream.resilience.quarantine.Quarantine` (or
+            any object with ``admit(item) -> bool`` plus
+            ``snapshot()``/``restore()``) screening every delivery for
+            structural validity *before* anything else sees it —
+            rejected items are dead-lettered and counted
+            (``stats.quarantined_observations``), never offered.
+        dedup: Optional
+            :class:`~repro.stream.resilience.dedup.RedeliveryDeduper`
+            (same duck-typed protocol) dropping redelivered
+            ``(source, seq)`` identities after quarantine and before
+            admission — at-least-once transports become effectively
+            exactly-once, with every drop counted
+            (``stats.duplicates_dropped``).
 
     The runtime's :attr:`stats` is an
     :class:`~repro.detect.engine.EngineStats` over the *stream* level:
@@ -166,12 +194,16 @@ class StreamingDetectionRuntime:
         on_match: Callable[[Match], None] | None = None,
         on_release: Callable[[int, Sequence[StreamItem]], None] | None = None,
         admission: AdmissionController | None = None,
+        quarantine: object | None = None,
+        dedup: object | None = None,
     ):
         self.engine = engine
         self.lateness = lateness
         self.on_match = on_match
         self.on_release = on_release
         self.admission = admission
+        self.quarantine = quarantine
+        self.dedup = dedup
         retention = (
             admission.limits.late_retention
             if admission is not None
@@ -229,6 +261,8 @@ class StreamingDetectionRuntime:
         """
         started = perf_counter()
         self.tracker.ensure_open({item.source for item in items})
+        if self.quarantine is not None or self.dedup is not None:
+            items = self._screen(items)
         if self.admission is None:
             for item in items:
                 self._offer(item)
@@ -251,6 +285,32 @@ class StreamingDetectionRuntime:
                 self.stats.backpressure_events += 1
         self.stats.evaluation_time_s += perf_counter() - started
         return matches
+
+    def _screen(self, items: Sequence[StreamItem]) -> list[StreamItem]:
+        """Quarantine, then dedup — before admission or the watermark.
+
+        Order matters: a corrupt copy of a not-yet-seen ``(source,
+        seq)`` must never reach the dedup record, or it would shadow
+        the intact retransmission arriving right behind it.  Neither
+        gate may touch the watermark — a quarantined or redelivered
+        item promises nothing about event time.
+        """
+        quarantine_admit = (
+            self.quarantine.admit if self.quarantine is not None else None
+        )
+        dedup_admit = self.dedup.admit if self.dedup is not None else None
+        stats = self.stats
+        kept: list[StreamItem] = []
+        keep = kept.append
+        for item in items:
+            if quarantine_admit is not None and not quarantine_admit(item):
+                stats.quarantined_observations += 1
+                continue
+            if dedup_admit is not None and not dedup_admit(item):
+                stats.duplicates_dropped += 1
+                continue
+            keep(item)
+        return kept
 
     def _offer(self, item: StreamItem) -> None:
         """Offer one admitted item, enforcing the occupancy cap.
@@ -304,6 +364,10 @@ class StreamingDetectionRuntime:
         if isinstance(name, str):
             self.register_source(name)
         throttle = getattr(source, "throttle", None)
+        if not callable(throttle):
+            # A non-callable throttle attribute is a non-cooperating
+            # source, not a crash waiting to happen.
+            throttle = None
         matches: list[Match] = []
         for _, group in arrival_groups(source):
             matches.extend(self.ingest(group))
@@ -397,6 +461,15 @@ class StreamingDetectionRuntime:
                 if self.admission is not None
                 else None
             ),
+            lateness=self.lateness,
+            dedup=(
+                self.dedup.snapshot() if self.dedup is not None else None
+            ),
+            quarantine=(
+                self.quarantine.snapshot()
+                if self.quarantine is not None
+                else None
+            ),
         )
 
     def restore(self, checkpoint: RuntimeCheckpoint) -> None:
@@ -416,10 +489,33 @@ class StreamingDetectionRuntime:
                 "checkpoint and runtime disagree about having an "
                 "admission controller"
             )
+        if (checkpoint.dedup is None) != (self.dedup is None):
+            raise ObserverError(
+                "checkpoint and runtime disagree about having a "
+                "redelivery deduper"
+            )
+        if (checkpoint.quarantine is None) != (self.quarantine is None):
+            raise ObserverError(
+                "checkpoint and runtime disagree about having a quarantine"
+            )
+        if (
+            checkpoint.lateness is not None
+            and checkpoint.lateness != self.lateness
+        ):
+            raise ObserverError(
+                f"checkpoint was taken under lateness "
+                f"{checkpoint.lateness} but this runtime uses "
+                f"{self.lateness}; restoring would change watermark "
+                f"semantics mid-stream"
+            )
         if self.engine is not None:
             self.engine.restore(checkpoint.engine)
         if self.admission is not None:
             self.admission.restore(checkpoint.admission)
+        if self.dedup is not None:
+            self.dedup.restore(checkpoint.dedup)
+        if self.quarantine is not None:
+            self.quarantine.restore(checkpoint.quarantine)
         self.buffer.restore(
             checkpoint.pending,
             checkpoint.late,
@@ -433,4 +529,13 @@ class StreamingDetectionRuntime:
         )
         self.released_items = checkpoint.released_items
         self.stats = replace(checkpoint.stats)
-        self.last_backpressure = None
+        if self.admission is not None:
+            # Recompute the signal from the restored occupancy and
+            # deferral state: a paced source resuming from a checkpoint
+            # taken under pressure must see that pressure immediately,
+            # not run unthrottled for its first post-restore step.
+            self.last_backpressure = self.admission.backpressure(
+                self.buffer.occupancy, self.tracker.watermark()
+            )
+        else:
+            self.last_backpressure = None

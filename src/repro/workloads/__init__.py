@@ -2,6 +2,7 @@
 
 from repro.workloads.families import (
     build_convoy_pursuit,
+    build_flaky_uplink,
     build_high_density,
     build_jittery_corridor,
     build_overload_surge,
@@ -42,6 +43,7 @@ __all__ = [
     "build_sharded_metro",
     "build_jittery_corridor",
     "build_overload_surge",
+    "build_flaky_uplink",
     "SIZE_PRESETS",
     "ScenarioSpec",
     "register_scenario",

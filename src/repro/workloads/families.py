@@ -28,7 +28,11 @@ that exercise the spatial index, reordering transports and overload:
 * :func:`build_overload_surge` — a field-wide plume burst through a
   jittery fabric turns every mote warm every round: the sink's ingest
   rate spikes far above steady state, saturating any bounded reorder
-  buffer or rate limit — the admission-control workload.
+  buffer or rate limit — the admission-control workload;
+* :func:`build_flaky_uplink` — a lossy *and* jittery uplink (log-
+  distance drops, CSMA backoff, retransmissions) delivers rover
+  sightings late, swapped and thinned — the fault-injection workload
+  behind the chaos-conformance suite.
 
 Every builder is deterministic given its seed, returns a
 :class:`~repro.workloads.scenarios.Scenario`, accepts ``use_planner``
@@ -75,6 +79,8 @@ __all__ = [
     "build_high_density",
     "build_sharded_metro",
     "build_jittery_corridor",
+    "build_overload_surge",
+    "build_flaky_uplink",
 ]
 
 
@@ -1278,4 +1284,172 @@ def build_overload_surge(
             "jitter_backoff": jitter_backoff,
         },
         handles={"field": field, "siren_log": siren_log},
+    )
+
+
+# ----------------------------------------------------------------------
+# flaky uplink: lossy + jittery fabric, the fault-injection workload
+# ----------------------------------------------------------------------
+
+def build_flaky_uplink(
+    seed: int = 0,
+    rows: int = 3,
+    cols: int = 8,
+    spacing: float = 10.0,
+    detect_range: float = 9.0,
+    sampling_period: int = 3,
+    rover_speed: float = 0.7,
+    uplink_backoff: int = 5,
+    max_retries: int = 4,
+    horizon: int = 320,
+    cluster_window_rounds: int = 10,
+    cluster_cooldown_rounds: int = 2,
+    use_planner: bool = True,
+    shards: int = 1,
+    partition: str = "grid",
+) -> Scenario:
+    """A survey rover reports over an uplink that drops *and* reorders.
+
+    The resilience workload: the fabric combines the corridor's CSMA
+    jitter (``uplink_backoff`` ticks per hop attempt) with the storm's
+    log-distance lossy radio, so sightings reach the sink late, swapped
+    *and* thinned — retransmissions (``max_retries``) recover most
+    losses at the cost of still more disorder.  This is the delivery
+    profile the supervised recovery stack is built against: the
+    chaos-conformance suite wraps this scenario's captured feeds in a
+    :class:`~repro.stream.resilience.faulty.FaultySource` (seeded
+    crashes, duplicate bursts, corrupt payloads, stalls) and proves a
+    :class:`~repro.stream.resilience.supervisor.SupervisedRuntime`
+    replay still reproduces the golden digest byte-for-byte.
+
+    The detection chain mirrors the corridor family: motes emit
+    ``rover_seen`` sightings, the sink fuses close pairs into
+    ``uplink_cluster`` composites over a window wide enough to absorb
+    the transport's jitter *and* its retransmission delays, and the CCU
+    promotes confident clusters to ``uplink_alert``, keying a relay.
+    """
+    system = CPSSystem(
+        seed=seed, use_planner=use_planner, shards=shards, partition=partition
+    )
+    width = (cols - 1) * spacing
+    mid_y = (rows - 1) * spacing / 2.0
+    rover = PhysicalObject(
+        "rover",
+        PatrolTrajectory(
+            [PointLocation(0.0, mid_y), PointLocation(width, mid_y)],
+            speed=rover_speed,
+        ),
+    )
+    system.world.add_object(rover)
+    relay_log: list[int] = []
+    system.world.on_actuation(
+        "relay", lambda payload, tick: relay_log.append(tick)
+    )
+
+    # Lossy *and* jittery: the log-distance radio genuinely drops
+    # packets at grid spacing, per-attempt CSMA backoff decorrelates
+    # delivery order from sampling order, and retries turn many of the
+    # drops into extra-late (re)deliveries instead of losses.
+    topology = grid_topology(
+        rows, cols, spacing, LogDistanceRadio(d50=spacing * 1.05, width=2.5)
+    )
+    sink_name = "MT0_0"
+    system.build_sensor_network(
+        topology,
+        sink_names=[sink_name],
+        backoff_ticks=uplink_backoff,
+        max_retries=max_retries,
+    )
+
+    rover_seen = EventSpecification(
+        event_id="rover_seen",
+        selectors={"x": EntitySelector(kinds={"range:rover"})},
+        condition=AttributeCondition(
+            "last", (AttributeTerm("x", "range:rover"),),
+            RelationalOp.LT, detect_range,
+        ),
+        window=0,
+        cooldown=sampling_period,
+        output=OutputPolicy(
+            attributes=(
+                OutputAttribute(
+                    "range:rover", "last",
+                    (AttributeTerm("x", "range:rover"),),
+                ),
+            )
+        ),
+    )
+    for name in topology.names:
+        if name == sink_name:
+            continue
+        system.add_mote(
+            name,
+            [
+                RangeSensor(
+                    "SRv", "rover",
+                    system.sim.rng.stream(f"{name}.rover"),
+                    noise_sigma=0.25, max_range=detect_range * 2.0,
+                )
+            ],
+            sampling_period=sampling_period,
+            specs=[rover_seen],
+        )
+
+    uplink_cluster = EventSpecification(
+        event_id="uplink_cluster",
+        selectors={
+            "a": EntitySelector(kinds={"rover_seen"}),
+            "b": EntitySelector(kinds={"rover_seen"}),
+        },
+        condition=all_of(
+            TemporalCondition(TimeOf("a"), TemporalOp.BEFORE, TimeOf("b")),
+            SpatialMeasureCondition(
+                "distance", ("a", "b"), RelationalOp.LT, 2.0 * spacing
+            ),
+        ),
+        window=cluster_window_rounds * sampling_period,
+        cooldown=cluster_cooldown_rounds * sampling_period,
+        output=OutputPolicy(time="latest", space="centroid", confidence="mean"),
+        description="two close rover sightings despite a lossy, jittery uplink",
+    )
+    system.add_sink(sink_name, specs=[uplink_cluster])
+
+    uplink_alert = EventSpecification(
+        event_id="uplink_alert",
+        selectors={"e": EntitySelector(kinds={"uplink_cluster"})},
+        condition=ConfidenceCondition("e", RelationalOp.GE, 0.2),
+        window=0,
+        cooldown=10 * sampling_period,
+        output=OutputPolicy(time="latest", space="centroid"),
+    )
+    system.add_ccu(
+        "CCU1",
+        PointLocation(-12.0, -12.0),
+        specs=[uplink_alert],
+        rules=[
+            _alarm_rule(
+                "uplink_alert", "relay", ("AR_relay",),
+                {"channel": "uplink"}, 15 * sampling_period,
+            )
+        ],
+    )
+    system.add_dispatch("D1", PointLocation(-12.0, 0.0))
+    system.add_actor_mote(
+        "AR_relay",
+        [Actuator("repeater", "relay")],
+        location=PointLocation(width / 2.0, mid_y),
+    )
+    system.add_database("DB1")
+
+    return Scenario(
+        system=system,
+        params={
+            "detect_range": detect_range,
+            "sampling_period": sampling_period,
+            "horizon": horizon,
+            "spacing": spacing,
+            "uplink_backoff": uplink_backoff,
+            "max_retries": max_retries,
+        },
+        handles={"rover": rover, "relay_log": relay_log},
     )

@@ -26,6 +26,7 @@ from typing import Callable, Mapping
 from repro.core.errors import ReproError
 from repro.workloads.families import (
     build_convoy_pursuit,
+    build_flaky_uplink,
     build_high_density,
     build_jittery_corridor,
     build_overload_surge,
@@ -335,6 +336,30 @@ register_scenario(
             "large": {"rows": 6, "cols": 10, "sampling_period": 2,
                       "horizon": 900, "surge_start": 120,
                       "surge_end": 660},
+        },
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="flaky_uplink",
+        builder=build_flaky_uplink,
+        description="lossy, jittery uplink thins and reorders rover sightings",
+        layers=("lossy WSN", "reordering WSN", "mobility", "mote", "sink",
+                "ccu", "actuation"),
+        paper_section="-",
+        presets={
+            "small": {"rows": 3, "cols": 8, "horizon": 320},
+            # Benchmark scale: a longer corridor, denser sampling and a
+            # wide uncooled pair window keep the sink loaded while the
+            # fabric drops and reorders at full strength — the
+            # supervised-recovery workload behind the BENCH_PR8 rows.
+            "medium": {"rows": 3, "cols": 14, "sampling_period": 2,
+                       "horizon": 640, "cluster_window_rounds": 18,
+                       "cluster_cooldown_rounds": 0},
+            "large": {"rows": 4, "cols": 20, "sampling_period": 2,
+                      "horizon": 1280, "cluster_window_rounds": 24,
+                      "cluster_cooldown_rounds": 0},
         },
     )
 )

@@ -1,0 +1,266 @@
+"""Chaos conformance: fault-injected replay reproduces the goldens.
+
+The supervised-recovery contract, pinned for *every* registered
+scenario (small preset, registered seed): wrap each captured observer
+feed in a :class:`~repro.stream.resilience.faulty.FaultySource` whose
+seeded plan injects at least one mid-stream crash, a duplicate burst,
+a corrupt payload and a stall, drive it through a
+:class:`~repro.stream.resilience.supervisor.SupervisedRuntime` over a
+:class:`~repro.stream.replay.ReplayObserver` with redelivery dedup and
+a quarantine — and the recovered replay must
+
+* re-emit the observer's original instance rows exactly (splicing them
+  into the behavioral trace reproduces the checked-in golden digest
+  byte-for-byte), at shards=1 **and** shards=4;
+* keep the conservation ledger balanced: every original observation is
+  released, late or shed exactly once, every injected extra is a
+  counted duplicate or dead letter;
+* actually recover — at least one crash fires per feed.
+
+A sweep over the new ``flaky_uplink`` family additionally proves the
+digest is crash-position-independent: a crash at *any* delivery step
+(and any intra-step offset) recovers to the identical instance stream.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from collections import deque
+from pathlib import Path
+
+import pytest
+
+from repro.sim.trace import trace_digest
+from repro.stream import (
+    CheckpointPolicy,
+    FaultPlan,
+    FaultySource,
+    JitteredSource,
+    Quarantine,
+    RedeliveryDeduper,
+    ReplayObserver,
+    SupervisedRuntime,
+    profile_of,
+)
+from repro.workloads import build_scenario, scenario_names
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+BEHAVIOR_CATEGORIES = ("instance.emit", "command.executed")
+
+LATENESS = 8
+"""Replay lateness bound (ticks); matches the stream-conformance suite
+so the faulted legs answer for the same disorder."""
+
+JITTER_SEED = 20260729
+"""Seed of the replay jitter stream (deterministic disorder)."""
+
+CHECKPOINT_EVERY = 4
+"""Supervisor checkpoint interval (delivery steps) for the chaos legs —
+small enough that every crash lands several steps past a checkpoint."""
+
+
+_cache: dict[str, tuple] = {}
+
+
+def _run(name: str):
+    """Build + tap + run one registered scenario (memoized per session)."""
+    if name not in _cache:
+        scenario = build_scenario(name, preset="small")
+        taps = scenario.system.attach_stream_taps()
+        scenario.system.run(until=scenario.params["horizon"])
+        _cache[name] = (scenario, taps)
+    return _cache[name]
+
+
+def _observer(system, name: str):
+    if name in system.sinks:
+        return system.sinks[name]
+    return system.ccus[name]
+
+
+def _original_rows(scenario, name: str):
+    return [
+        record
+        for record in scenario.system.trace.by_category("instance.emit")
+        if record.source == name
+    ]
+
+
+def _jittered(tap):
+    return JitteredSource(tap, max_delay=LATENESS, seed=JITTER_SEED)
+
+
+def _plan_for(scenario_name: str, tap_name: str, steps: int) -> FaultPlan:
+    """A per-feed seeded plan with full fault-taxonomy coverage."""
+    seed = zlib.crc32(f"{scenario_name}:{tap_name}".encode())
+    return FaultPlan.seeded(
+        seed, steps, crashes=2, duplicate_bursts=2, corruptions=2, stalls=1
+    )
+
+
+def _supervised_replay_all(
+    scenario, scenario_name, taps, shards: int = 1
+):
+    """Fault-inject + supervise every tapped observer's replay."""
+    bounds = scenario.system.detection_bounds() if shards > 1 else None
+    replays: dict[str, ReplayObserver] = {}
+    supervisors: dict[str, SupervisedRuntime] = {}
+    for name, tap in taps.items():
+        steps = FaultySource(_jittered(tap)).steps
+        replayer = ReplayObserver(
+            profile_of(_observer(scenario.system, name)),
+            lateness=LATENESS,
+            shards=shards,
+            bounds=bounds,
+            dedup=RedeliveryDeduper(),
+            quarantine=Quarantine(),
+        )
+        supervisor = SupervisedRuntime(
+            replayer,
+            checkpoints=CheckpointPolicy(every_steps=CHECKPOINT_EVERY),
+        )
+        if steps == 0:
+            supervisor.run(_jittered(tap))  # empty feed: nothing to fault
+        else:
+            supervisor.run(
+                FaultySource(
+                    _jittered(tap),
+                    _plan_for(scenario_name, name, steps),
+                    redelivery_overlap=1,
+                )
+            )
+        replays[name] = replayer
+        supervisors[name] = supervisor
+    return replays, supervisors
+
+
+def _spliced_digest(scenario, replays) -> str:
+    """Digest of the behavioral trace with replayed rows spliced in."""
+    queues = {
+        name: deque(replayer.trace_rows) for name, replayer in replays.items()
+    }
+    rows = []
+    for record in scenario.system.trace.filtered(BEHAVIOR_CATEGORIES):
+        if record.category == "instance.emit" and record.source in queues:
+            queue = queues[record.source]
+            assert queue, (
+                f"recovered replay of {record.source!r} emitted fewer "
+                f"instances than the original run (missing a row for "
+                f"tick {record.tick})"
+            )
+            rows.append(queue.popleft())
+        else:
+            rows.append(record)
+    assert all(not queue for queue in queues.values()), (
+        "recovered replay emitted more instances than the original run"
+    )
+    return trace_digest(rows)
+
+
+def _golden_digest(name: str) -> str:
+    path = GOLDEN_DIR / f"{name}.json"
+    assert path.exists(), f"no golden trace for scenario {name!r}"
+    return json.loads(path.read_text())["digest"]
+
+
+def _assert_conserved(replayer, tap, supervisor) -> None:
+    """The extended conservation ledger for one recovered feed."""
+    runtime = replayer.runtime
+    stats = runtime.stats
+    # Exactly-once on the originals: released + late + shed covers the
+    # base stream with nothing double-counted...
+    assert (
+        runtime.released_items
+        + stats.late_observations
+        + stats.shed_observations
+        == tap.observation_count
+    )
+    # ...and the injected extras are measured, never silent.
+    offered = (
+        tap.observation_count
+        + stats.duplicates_dropped
+        + stats.quarantined_observations
+    )
+    assert (
+        runtime.released_items
+        + stats.late_observations
+        + stats.shed_observations
+        + stats.duplicates_dropped
+        + stats.quarantined_observations
+        == offered
+    )
+    assert runtime.quarantine.count == stats.quarantined_observations
+    assert stats.recoveries == supervisor.recoveries
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+@pytest.mark.parametrize("name", scenario_names())
+class TestChaosGoldenConformance:
+    def test_recovered_replay_matches_golden(self, name, shards):
+        scenario, taps = _run(name)
+        replays, supervisors = _supervised_replay_all(
+            scenario, name, taps, shards=shards
+        )
+        recovered_anywhere = False
+        for observer_name, replayer in replays.items():
+            supervisor = supervisors[observer_name]
+            tap = taps[observer_name]
+            assert replayer.runtime.stats.late_observations == 0
+            assert replayer.trace_rows == _original_rows(
+                scenario, observer_name
+            ), f"recovered replay of {observer_name!r} diverged"
+            _assert_conserved(replayer, tap, supervisor)
+            if tap.observation_count:
+                # The seeded plan guarantees crashes, duplicates and
+                # corruption on every non-empty feed.
+                assert supervisor.recoveries >= 1
+                assert supervisor.backoff_delays
+                assert replayer.runtime.stats.duplicates_dropped >= 1
+                assert replayer.runtime.stats.quarantined_observations >= 1
+                recovered_anywhere = True
+        if recovered_anywhere:
+            assert _spliced_digest(scenario, replays) == _golden_digest(name)
+
+
+class TestCrashAtAnyStep:
+    """Crash position must not matter: sweep the crash across the whole
+    stream of the resilience family's sink feed and require the exact
+    instance rows back every time."""
+
+    def test_flaky_uplink_recovers_identically_everywhere(self):
+        scenario, taps = _run("flaky_uplink")
+        tap = max(taps.values(), key=lambda t: t.observation_count)
+        original = _original_rows(scenario, tap.name)
+        profile = profile_of(_observer(scenario.system, tap.name))
+        steps = FaultySource(_jittered(tap)).steps
+        assert steps > 0
+        stride = max(1, steps // 12)  # ~12 positions, ends included
+        positions = sorted(set(range(0, steps, stride)) | {steps - 1})
+        recovered = 0
+        for step in positions:
+            replayer = ReplayObserver(
+                profile,
+                lateness=LATENESS,
+                dedup=RedeliveryDeduper(),
+                quarantine=Quarantine(),
+            )
+            supervisor = SupervisedRuntime(
+                replayer,
+                checkpoints=CheckpointPolicy(every_steps=CHECKPOINT_EVERY),
+            )
+            supervisor.run(
+                FaultySource(
+                    _jittered(tap),
+                    FaultPlan(crashes=((step, step % 3),)),
+                    redelivery_overlap=1,
+                )
+            )
+            assert replayer.trace_rows == original, (
+                f"crash at step {step} did not recover to the original "
+                f"instance stream"
+            )
+            assert supervisor.recoveries == 1
+            recovered += 1
+        assert recovered == len(positions)

@@ -452,6 +452,29 @@ class TestBoundedRuntime:
         # a cooperating producer loses strictly less than a firehose.
         assert paced.stats.shed_observations < unpaced.stats.shed_observations
 
+    def test_restore_recomputes_backpressure_from_restored_state(self):
+        # A checkpoint taken under pressure must surface that pressure
+        # immediately on restore — a paced source resuming from it
+        # would otherwise run unthrottled for its first step.
+        limits = AdmissionLimits(max_pending=4, backpressure_ratio=0.5)
+
+        def runtime():
+            return StreamingDetectionRuntime(
+                lateness=30, admission=AdmissionController(limits)
+            )
+
+        loaded = runtime()
+        loaded.register_source("replay")
+        for _, group in arrival_groups(iter(self._surge(n=1, per_tick=3))):
+            loaded.ingest(group)
+        assert loaded.last_backpressure is not None
+        assert loaded.last_backpressure.engaged
+        resumed = runtime()
+        resumed.restore(loaded.snapshot())
+        assert resumed.last_backpressure is not None
+        assert resumed.last_backpressure.engaged
+        assert resumed.last_backpressure == loaded.last_backpressure
+
     def test_checkpoint_mismatch_raises_both_ways(self):
         bounded = StreamingDetectionRuntime(
             lateness=4, admission=AdmissionController()

@@ -1,5 +1,7 @@
 """Unit tests for engine snapshot/restore and runtime checkpoints."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.core.composite import all_of
@@ -20,6 +22,8 @@ from repro.detect.engine import DetectionEngine
 from repro.shard.engine import ShardedDetectionEngine
 from repro.stream import (
     JitteredSource,
+    Quarantine,
+    RedeliveryDeduper,
     ReplaySource,
     StreamingDetectionRuntime,
 )
@@ -286,3 +290,37 @@ class TestRuntimeCheckpoint:
         engineless = StreamingDetectionRuntime(None, lateness=1)
         with pytest.raises(ObserverError, match="engine"):
             engineless.restore(with_engine.snapshot())
+
+    def test_lateness_mismatch_rejected(self):
+        checkpoint = StreamingDetectionRuntime(None, lateness=5).snapshot()
+        other = StreamingDetectionRuntime(None, lateness=6)
+        with pytest.raises(ObserverError, match="lateness"):
+            other.restore(checkpoint)
+
+    def test_pre_resilience_checkpoint_skips_the_lateness_check(self):
+        # Checkpoints from before the bound was recorded carry
+        # lateness=None; they must keep restoring (no check possible).
+        runtime = StreamingDetectionRuntime(None, lateness=5)
+        runtime.register_source("t")
+        runtime.ingest(list(ReplaySource(stream(6), name="t"))[:3])
+        legacy = replace(runtime.snapshot(), lateness=None)
+        other = StreamingDetectionRuntime(None, lateness=9)
+        other.restore(legacy)
+        assert other.released_items == runtime.released_items
+
+    def test_resilience_gate_presence_must_match(self):
+        plain = StreamingDetectionRuntime(None, lateness=4)
+        deduped = StreamingDetectionRuntime(
+            None, lateness=4, dedup=RedeliveryDeduper()
+        )
+        quarantined = StreamingDetectionRuntime(
+            None, lateness=4, quarantine=Quarantine()
+        )
+        with pytest.raises(ObserverError, match="deduper"):
+            plain.restore(deduped.snapshot())
+        with pytest.raises(ObserverError, match="deduper"):
+            deduped.restore(plain.snapshot())
+        with pytest.raises(ObserverError, match="quarantine"):
+            plain.restore(quarantined.snapshot())
+        with pytest.raises(ObserverError, match="quarantine"):
+            quarantined.restore(plain.snapshot())

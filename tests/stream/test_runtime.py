@@ -228,3 +228,27 @@ class TestAtomicIngest:
         # The cleaned-up step is accepted afterwards.
         runtime.ingest([good])
         assert runtime.stats.entities_submitted == 2
+
+
+class TestUncooperativeSources:
+    def test_non_callable_throttle_attribute_is_ignored(self):
+        # A source may carry a `throttle` attribute that is plain
+        # metadata; run() must treat it as a non-cooperating source,
+        # not call it.
+        class OddSource:
+            name = "t"
+            throttle = "busy"
+
+            def __iter__(self):
+                return iter(ReplaySource(batches(10), name="t"))
+
+        released = []
+        runtime = StreamingDetectionRuntime(
+            None,
+            lateness=4,
+            on_release=lambda tick, items: released.extend(
+                item.seq for item in items
+            ),
+        )
+        runtime.run(OddSource())
+        assert released == list(range(10))
