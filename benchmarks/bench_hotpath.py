@@ -1,4 +1,4 @@
-"""E12–E16 — hot path, sharding, streaming, bounded ingest, resilience.
+"""E12–E17 — hot path, sharding, streaming, ingest, resilience, telemetry.
 
 Two faces:
 
@@ -14,10 +14,12 @@ Two faces:
   occupancy cap asserted inside the harness), and the E16 resilience
   rows (supervised-recovery overhead against the unsupervised replay,
   checkpoint-interval sensitivity, and a faulted leg whose exactness
-  is asserted inside the harness);
+  is asserted inside the harness), and the E17 telemetry rows
+  (disabled vs sampled vs full stage tracing on the streaming
+  scenarios, zero perturbation asserted inside the harness);
 * **CLI** (``python benchmarks/bench_hotpath.py [--quick] [--out F]``):
   writes the JSON perf report.  Full runs produce the tracked
-  ``BENCH_PR8.json``: the E12 compiled-vs-interpreted matrix over every
+  ``BENCH_PR9.json``: the E12 compiled-vs-interpreted matrix over every
   registered scenario's *medium* preset, the E13 shard-scaling sweep
   (1/2/4/8 shards on ``high_density`` and ``sharded_metro`` medium),
   the E14 streaming section (``jittery_corridor`` + ``high_density``
@@ -26,14 +28,18 @@ Two faces:
   shedding policy, paced-vs-unpaced rate limiting) and the E16
   resilience section (``flaky_uplink`` medium: unsupervised floor,
   supervised no-fault sweep over checkpoint intervals, seeded faulted
-  leg).  ``--quick`` is the CI smoke mode — small subsets with hard
-  failures if the compiled path is slower than the interpreted one,
-  the memo cache never hits, the sharded backend is slower than the
-  single-engine (naive) detection path, jittered streaming replay
+  leg) and the E17 telemetry section (``jittery_corridor`` +
+  ``high_density`` medium: bare replay vs sampled vs full stage
+  tracing).  ``--quick`` is the CI smoke mode — small subsets with
+  hard failures if the compiled path is slower than the interpreted
+  one, the memo cache never hits, the sharded backend is slower than
+  the single-engine (naive) detection path, jittered streaming replay
   costs more than ``STREAM_GATE_OVERHEAD`` times the in-order replay,
   every shedding policy's recall falls below
-  ``ADMISSION_GATE_RECALL``, or fault-free supervision costs more than
-  ``RESILIENCE_GATE_OVERHEAD`` times the unsupervised replay.
+  ``ADMISSION_GATE_RECALL``, fault-free supervision costs more than
+  ``RESILIENCE_GATE_OVERHEAD`` times the unsupervised replay, or
+  enabled telemetry (registry + strided tracing) costs more than
+  ``TELEMETRY_MAX_OVERHEAD`` times the bare replay.
 """
 
 import argparse
@@ -67,6 +73,10 @@ checkpoint interval: the supervisor's checkpoints, ack floor, dedup and
 quarantine gates together must not cost more than 25% over the
 unsupervised streaming replay — recovery insurance has to be cheap
 enough to leave on."""
+
+TELEMETRY_GATE_SCENARIO = "jittery_corridor"
+"""Scenario of the CI telemetry gate (its fabric genuinely reorders, so
+the traced stages carry real residency)."""
 
 
 # ----------------------------------------------------------------------
@@ -283,6 +293,45 @@ class TestE16SupervisedResilience:
         assert faulted["duplicates_dropped"] >= 1
 
 
+class TestE17TelemetryOverhead:
+    def test_telemetry_rows(self, benchmark, report, quick):
+        preset = "small" if quick else "medium"
+        repeats = 1 if quick else 2
+        names = (
+            (TELEMETRY_GATE_SCENARIO,)
+            if quick
+            else report_harness.STREAMING_SCENARIOS
+        )
+
+        def run():
+            return report_harness.telemetry_report(
+                names, preset=preset, repeats=repeats
+            )
+
+        payload = benchmark.pedantic(run, rounds=1, iterations=1)
+        for name, row in payload["scenarios"].items():
+            disabled = row["disabled"]
+            for label in ("sampled", "full"):
+                entry = row[label]
+                report(
+                    f"[E17] {name:<16} {label:<8} preset={preset:<6} "
+                    f"{entry['obs_per_s']:.0f} obs/s vs bare "
+                    f"{disabled['obs_per_s']:.0f} obs/s "
+                    f"(overhead {entry['overhead']:.2f}x) "
+                    f"traces={entry['traces_completed']}"
+                )
+            # Zero perturbation and digest stability are asserted
+            # inside the harness; the rows pin the sampling structure
+            # that stays noise-proof.  (The wall-clock gate lives in
+            # the CLI smoke run, like every other timing gate.)
+            assert row["full"]["traces_sampled"] > 0
+            assert (
+                row["sampled"]["traces_sampled"]
+                < row["full"]["traces_sampled"]
+            )
+            assert disabled["traces_sampled"] == 0
+
+
 # ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
@@ -299,8 +348,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--out",
-        default="BENCH_PR8.json",
-        help="output JSON path (default: BENCH_PR8.json)",
+        default="BENCH_PR9.json",
+        help="output JSON path (default: BENCH_PR9.json)",
     )
     parser.add_argument(
         "--skip-sharding",
@@ -321,6 +370,11 @@ def main(argv: list[str] | None = None) -> int:
         "--skip-resilience",
         action="store_true",
         help="omit the E16 supervised-resilience section (and its gate)",
+    )
+    parser.add_argument(
+        "--skip-telemetry",
+        action="store_true",
+        help="omit the E17 telemetry-overhead section (and its gate)",
     )
     parser.add_argument(
         "--shard-repeats",
@@ -519,6 +573,42 @@ def main(argv: list[str] | None = None) -> int:
                     f"interval {resilience['default_interval']} costs "
                     f"{gate_row['overhead']:.2f}x the unsupervised replay "
                     f"(gate {RESILIENCE_GATE_OVERHEAD}x)"
+                )
+    if not args.skip_telemetry:
+        telemetry = report_harness.telemetry_report(
+            names=(TELEMETRY_GATE_SCENARIO,)
+            if args.quick
+            else report_harness.STREAMING_SCENARIOS,
+            preset=preset,
+            repeats=repeats,
+        )
+        payload["telemetry"] = telemetry
+        for name, row in telemetry["scenarios"].items():
+            disabled = row["disabled"]
+            print(
+                f"{name:<22} {preset:<7} telemetry "
+                f"bare={disabled['obs_per_s']:>9.0f} obs/s "
+                f"sampled={row['sampled']['obs_per_s']:>9.0f} obs/s "
+                f"({row['sampled']['overhead']:.2f}x) "
+                f"full={row['full']['obs_per_s']:>9.0f} obs/s "
+                f"({row['full']['overhead']:.2f}x)"
+            )
+            if (
+                args.quick
+                and name == TELEMETRY_GATE_SCENARIO
+                and row["sampled"]["overhead"]
+                > report_harness.TELEMETRY_MAX_OVERHEAD
+            ):
+                # The gate bounds the enabled production configuration
+                # (registry + strided tracing); the full trace_every=1
+                # row stays a reported diagnostic.
+                failures.append(
+                    f"{name}: enabled telemetry (registry + "
+                    f"trace_every="
+                    f"{report_harness.TELEMETRY_SAMPLED_EVERY}) costs "
+                    f"{row['sampled']['overhead']:.2f}x the bare "
+                    f"replay (gate "
+                    f"{report_harness.TELEMETRY_MAX_OVERHEAD}x)"
                 )
     path = report_harness.write_report(args.out, payload)
     for name, row in payload["scenarios"].items():

@@ -49,6 +49,7 @@ __all__ = [
     "streaming_report",
     "admission_report",
     "resilience_report",
+    "telemetry_report",
     "routing_microbench",
     "write_report",
 ]
@@ -130,6 +131,14 @@ class ModeResult:
     cache_hits: int
     cache_misses: int
     cache_hit_rate: float
+    recoveries: int = 0
+    """Supervised crash recoveries rolled up across observers — zero in
+    every unfaulted leg; reported so a faulted measurement can never
+    masquerade as a clean one."""
+    duplicates_dropped: int = 0
+    """Redelivered observations rejected by dedup (at-least-once surplus)."""
+    quarantined_observations: int = 0
+    """Corrupt deliveries dead-lettered before reaching the engine."""
 
 
 def _observers(system) -> list:
@@ -212,6 +221,9 @@ def _mode_result(wall: float, scenario) -> ModeResult:
         cache_hits=stats.cache_hits,
         cache_misses=stats.cache_misses,
         cache_hit_rate=round(stats.cache_hit_rate, 4),
+        recoveries=stats.recoveries,
+        duplicates_dropped=stats.duplicates_dropped,
+        quarantined_observations=stats.quarantined_observations,
     )
 
 
@@ -929,6 +941,175 @@ def resilience_report(
     }
     del scenario, taps
     return payload
+
+
+TELEMETRY_SAMPLED_EVERY = 16
+"""Sampling stride of the telemetry report's middle mode: one stage
+trace per 16 admitted observations, the configuration a long-running
+deployment would leave on."""
+
+TELEMETRY_MAX_OVERHEAD = 1.10
+"""Acceptance bar the CI bench-smoke leg holds: full telemetry (metrics
+registry + trace_every=1 stage tracing) may cost at most 10% wall time
+over the bare streaming replay."""
+
+
+def telemetry_report(
+    names: tuple[str, ...] = STREAMING_SCENARIOS,
+    preset: str = "medium",
+    lateness: int = STREAMING_LATENESS,
+    repeats: int = 3,
+) -> dict:
+    """Telemetry-overhead rows (the E17 / BENCH_PR9 section).
+
+    One live run per scenario with stream taps, then per scenario a
+    best-of-``repeats`` measurement of three jittered replays of every
+    tapped feed through the same runtime, varying only the telemetry
+    configuration:
+
+    * ``disabled`` — ``telemetry=None``, the bare streaming replay
+      every earlier benchmark measured (one ``None`` check per
+      instrumentation point);
+    * ``sampled`` — registry attached, stage tracing at
+      ``trace_every=16``: the always-on production configuration;
+    * ``full`` — registry attached, ``trace_every=1``: every admitted
+      observation carries a stage trace.
+
+    ``overhead`` on the sampled/full rows is the wall-time ratio
+    against the disabled row — the number the CI gate bounds at
+    :data:`TELEMETRY_MAX_OVERHEAD`.  Exactness is asserted on every
+    leg (telemetry reads, it must never perturb: the emission has to
+    equal the live run's), and the full leg additionally asserts the
+    registry's deterministic digest identical across repeats — a
+    nondeterministic metric would silently break checkpoint and
+    conformance guarantees long before anyone read it.
+    """
+    from repro.obs.export import registry_digest
+    from repro.obs.tracing import Telemetry
+    from repro.stream import JitteredSource, ReplayObserver, profile_of
+
+    rows: dict[str, dict] = {}
+    for name in names:
+        gc.collect()
+        scenario = build_scenario(name, preset=preset)
+        taps = scenario.system.attach_stream_taps()
+        scenario.system.run(until=scenario.params["horizon"])
+        profiles = {
+            tap_name: profile_of(
+                scenario.system.sinks.get(tap_name)
+                or scenario.system.ccus[tap_name]
+            )
+            for tap_name in taps
+        }
+        live_keys = {
+            tap_name: [
+                i.key
+                for i in (
+                    scenario.system.sinks.get(tap_name)
+                    or scenario.system.ccus[tap_name]
+                ).emitted
+            ]
+            for tap_name in taps
+        }
+        offered = sum(tap.observation_count for tap in taps.values())
+
+        def replay_once(trace_every: int | None) -> dict:
+            gc.collect()
+            wall = 0.0
+            sampled = completed = 0
+            digests = []
+            for tap_name, tap in taps.items():
+                source = JitteredSource(tap, max_delay=lateness, seed=0)
+                telemetry = (
+                    None
+                    if trace_every is None
+                    else Telemetry.create(trace_every=trace_every)
+                )
+                replayer = ReplayObserver(
+                    profiles[tap_name],
+                    lateness=lateness,
+                    telemetry=telemetry,
+                )
+                start = time.perf_counter()
+                replayer.replay(source)
+                wall += time.perf_counter() - start
+                assert replayer.runtime.stats.late_observations == 0
+                assert [i.key for i in replayer.emitted] == live_keys[
+                    tap_name
+                ], (
+                    f"{name}/{tap_name}: telemetry perturbed the replay "
+                    f"(trace_every={trace_every})"
+                )
+                if telemetry is not None:
+                    tracer = telemetry.tracer
+                    sampled += telemetry.registry.counter(
+                        "obs_traces_sampled_total"
+                    ).value
+                    completed += len(tracer.completed_rows())
+                    digests.append(registry_digest(telemetry.registry))
+            return {
+                "wall_s": round(wall, 6),
+                "obs_per_s": round(offered / wall, 1) if wall else 0.0,
+                "traces_sampled": sampled,
+                "traces_completed": completed,
+                "registry_digest": (
+                    "|".join(digests) if digests else None
+                ),
+            }
+
+        modes: list[tuple[str, int | None]] = [
+            ("disabled", None),
+            ("sampled", TELEMETRY_SAMPLED_EVERY),
+            ("full", 1),
+        ]
+        # Interleaved rounds (see shard_scaling_report): the overhead
+        # ratio is small, so sequential best-of-N blocks would absorb
+        # background-load drift straight into the gated number.
+        best: dict[str, dict] = {}
+        for _ in range(max(1, repeats)):
+            for label, trace_every in modes:
+                result = replay_once(trace_every)
+                if label in best and result["registry_digest"] != best[
+                    label
+                ]["registry_digest"]:
+                    raise AssertionError(
+                        f"{name}/{label}: registry digest drifted between "
+                        f"identical runs"
+                    )
+                if (
+                    label not in best
+                    or result["wall_s"] < best[label]["wall_s"]
+                ):
+                    digest = best.get(label, result)["registry_digest"]
+                    best[label] = {**result, "registry_digest": digest}
+        disabled = best["disabled"]
+        for label in ("sampled", "full"):
+            best[label]["overhead"] = (
+                round(best[label]["wall_s"] / disabled["wall_s"], 2)
+                if disabled["wall_s"]
+                else 0.0
+            )
+        assert best["full"]["traces_sampled"] > best["sampled"][
+            "traces_sampled"
+        ], f"{name}: full tracing sampled no more than the strided mode"
+        rows[name] = {
+            "observations": offered,
+            "taps": len(taps),
+            "disabled": disabled,
+            "sampled": best["sampled"],
+            "full": best["full"],
+        }
+        del scenario, taps
+    return {
+        "preset": preset,
+        "lateness": lateness,
+        "repeats": repeats,
+        "sampled_every": TELEMETRY_SAMPLED_EVERY,
+        "max_overhead": TELEMETRY_MAX_OVERHEAD,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "scenarios": rows,
+    }
 
 
 def routing_microbench(iterations: int = 50_000) -> dict:

@@ -45,7 +45,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from time import perf_counter
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import ClassVar, Iterable, Iterator, Mapping, Sequence
 
 from repro.core.conditions import Binding
 from repro.core.entity import (
@@ -166,51 +166,74 @@ class EngineStats:
     evaluation) — the detection path the compiled/interpreted benchmark
     comparison isolates from the rest of the simulation."""
 
+    #: How each field rolls up across engines: flows sum, levels keep
+    #: the worst single value.  Every dataclass field MUST appear here
+    #: (a completeness test enforces it), so a new counter cannot be
+    #: silently dropped from multi-shard / multi-observer aggregation.
+    MERGE_RULES: ClassVar[Mapping[str, str]] = {
+        "entities_submitted": "sum",
+        "batches_submitted": "sum",
+        "bindings_evaluated": "sum",
+        "candidates_pruned": "sum",
+        "matches": "sum",
+        "evaluation_errors": "sum",
+        "cache_hits": "sum",
+        "cache_misses": "sum",
+        "late_observations": "sum",
+        # Occupancy is a level, not a flow: the roll-up keeps the
+        # worst single buffer, not a meaningless sum.
+        "reorder_peak": "max",
+        "shed_observations": "sum",
+        "deferred_observations": "sum",
+        "backpressure_events": "sum",
+        "recoveries": "sum",
+        "duplicates_dropped": "sum",
+        "quarantined_observations": "sum",
+        "evaluation_time_s": "sum",
+    }
+
     @property
     def cache_hit_rate(self) -> float:
         """Fraction of predicate-memo lookups answered from the cache."""
-        total = self.cache_hits + self.cache_misses
-        return self.cache_hits / total if total else 0.0
+        hits = self.cache_hits or 0
+        total = hits + (self.cache_misses or 0)
+        return hits / total if total else 0.0
 
     @property
     def observations_per_s(self) -> float:
-        """Sustained ingestion throughput over the measured detection path."""
+        """Sustained ingestion throughput over the measured detection path.
+
+        Defensive against a zero *or* ``None`` elapsed time (a stats
+        object deserialized from a partial report, or a run measured
+        entirely outside the detection path): both yield ``0.0`` instead
+        of a ``ZeroDivisionError``/``TypeError``.
+        """
         if not self.evaluation_time_s:
             return 0.0
-        return self.entities_submitted / self.evaluation_time_s
+        return (self.entities_submitted or 0) / self.evaluation_time_s
 
     @classmethod
     def merge(cls, parts: Iterable["EngineStats"]) -> "EngineStats":
-        """Sum every counter across a collection of engine stats.
+        """Roll up a collection of engine stats field by field.
 
         The canonical roll-up for multi-engine aggregation — per-shard
         stats inside :class:`~repro.shard.engine.ShardedDetectionEngine`
         and per-observer stats in the benchmark harness — so
         ``cache_hits``/``evaluation_time_s`` totals never need ad-hoc
-        dict math.  Derived values (:attr:`cache_hit_rate`) recompute
-        from the summed counters.
+        dict math.  Each field follows its :attr:`MERGE_RULES` entry
+        (``"sum"`` or ``"max"``); derived values (:attr:`cache_hit_rate`)
+        recompute from the rolled-up counters.
         """
         total = cls()
+        rules = cls.MERGE_RULES
         for part in parts:
-            total.entities_submitted += part.entities_submitted
-            total.batches_submitted += part.batches_submitted
-            total.bindings_evaluated += part.bindings_evaluated
-            total.candidates_pruned += part.candidates_pruned
-            total.matches += part.matches
-            total.evaluation_errors += part.evaluation_errors
-            total.cache_hits += part.cache_hits
-            total.cache_misses += part.cache_misses
-            total.late_observations += part.late_observations
-            # Occupancy is a level, not a flow: the roll-up keeps the
-            # worst single buffer, not a meaningless sum.
-            total.reorder_peak = max(total.reorder_peak, part.reorder_peak)
-            total.shed_observations += part.shed_observations
-            total.deferred_observations += part.deferred_observations
-            total.backpressure_events += part.backpressure_events
-            total.recoveries += part.recoveries
-            total.duplicates_dropped += part.duplicates_dropped
-            total.quarantined_observations += part.quarantined_observations
-            total.evaluation_time_s += part.evaluation_time_s
+            for name, rule in rules.items():
+                value = getattr(part, name)
+                if rule == "max":
+                    if value > getattr(total, name):
+                        setattr(total, name, value)
+                else:
+                    setattr(total, name, getattr(total, name) + value)
         return total
 
 
@@ -272,8 +295,50 @@ class DetectionEngine:
         self.use_planner = use_planner
         self.index_cell_size = index_cell_size
         self.stats = EngineStats()
+        self.telemetry_registry = None
+        self._spec_obs: dict[str, tuple] | None = None
+        self._obs_labels: dict[str, str] = {}
         for spec in specs:
             self.add_spec(spec)
+
+    def attach_telemetry(self, registry, **labels: object) -> None:
+        """Route per-spec evaluation counters into a metrics registry.
+
+        Installs three series per specification —
+        ``engine_spec_bindings_total``, ``engine_spec_matches_total``
+        and ``engine_spec_evaluation_seconds_total`` (volatile:
+        wall-clock-derived) — labeled ``spec=<event id>`` plus any extra
+        labels (the sharded backend passes ``shard=<i>``).  Pure
+        observation: attaching never changes evaluation order, match
+        sets or the flat :attr:`stats`; detached engines pay nothing.
+        """
+        self.telemetry_registry = registry
+        self._obs_labels = {str(k): str(v) for k, v in labels.items()}
+        self._spec_obs = {}
+        for event_id in self._specs:
+            self._install_spec_obs(event_id)
+
+    def _install_spec_obs(self, event_id: str) -> None:
+        registry = self.telemetry_registry
+        labels = dict(self._obs_labels, spec=event_id)
+        self._spec_obs[event_id] = (
+            registry.counter(
+                "engine_spec_bindings_total",
+                "Candidate bindings evaluated, per specification",
+                **labels,
+            ),
+            registry.counter(
+                "engine_spec_matches_total",
+                "Satisfied bindings, per specification",
+                **labels,
+            ),
+            registry.counter(
+                "engine_spec_evaluation_seconds_total",
+                "Wall-clock seconds spent evaluating, per specification",
+                volatile=True,
+                **labels,
+            ),
+        )
 
     def add_spec(self, spec: EventSpecification) -> None:
         """Install another specification (ids must be unique)."""
@@ -296,6 +361,8 @@ class DetectionEngine:
                     lambda evicted, idx=index: idx.evict(len(evicted))
                 )
         self._indexes[spec.event_id] = indexes
+        if self._spec_obs is not None:
+            self._install_spec_obs(spec.event_id)
 
     def plan(self, event_id: str) -> EvaluationPlan:
         """Compiled evaluation plan of an installed specification."""
@@ -382,6 +449,7 @@ class DetectionEngine:
         cache = self._cache
         cache.reset()
         matches: list[Match] = []
+        spec_obs = self._spec_obs
         for spec in self._specs.values():
             staged: list[tuple[Entity, tuple[str, ...], bool]] = []
             for position, entity in enumerate(batch):
@@ -392,6 +460,10 @@ class DetectionEngine:
                     )
             if not staged:
                 continue
+            if spec_obs is not None:
+                spec_started = perf_counter()
+                bindings_before = self.stats.bindings_evaluated
+                matches_before = self.stats.matches
             pools = self._pools[spec.event_id]
             indexes = self._indexes[spec.event_id]
             for window in pools.values():
@@ -409,6 +481,11 @@ class DetectionEngine:
                     matches.extend(
                         self._evaluate_spec(spec, entity, roles, now, cache)
                     )
+            if spec_obs is not None:
+                bindings, matched, seconds = spec_obs[spec.event_id]
+                bindings.inc(self.stats.bindings_evaluated - bindings_before)
+                matched.inc(self.stats.matches - matches_before)
+                seconds.inc(perf_counter() - spec_started)
         self.stats.cache_hits = cache.hits
         self.stats.cache_misses = cache.misses
         self.stats.evaluation_time_s += perf_counter() - started

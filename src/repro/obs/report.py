@@ -1,0 +1,155 @@
+"""``python -m repro.obs.report`` — live runtime introspection CLI.
+
+Builds a registered scenario, captures its busiest observer feed,
+replays it (optionally sharded) through a telemetry-enabled
+:class:`~repro.stream.runtime.StreamingDetectionRuntime`, and
+pretty-prints the resulting snapshot: stage residency percentiles,
+shed/late/recovery counts, per-spec bindings and cache hit rates, and
+the backpressure duty cycle.  ``--format prometheus`` / ``--format
+json`` dump the raw registry in the machine formats instead.
+
+Examples::
+
+    PYTHONPATH=src python -m repro.obs.report
+    PYTHONPATH=src python -m repro.obs.report --scenario high_density \\
+        --shards 4 --trace-every 1 --format text
+    PYTHONPATH=src python -m repro.obs.report --format prometheus
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.obs.export import render_report, to_json, to_prometheus
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Telemetry
+
+DEFAULT_LATENESS = 8
+DEFAULT_JITTER_SEED = 20260729
+
+
+def traced_replay(
+    name: str,
+    *,
+    preset: str = "small",
+    shards: int = 1,
+    trace_every: int = 1,
+    lateness: int = DEFAULT_LATENESS,
+    seed: int = DEFAULT_JITTER_SEED,
+):
+    """Replay one scenario's busiest tapped feed under full telemetry.
+
+    Returns the finished :class:`~repro.stream.replay.ReplayObserver`
+    (``.runtime.telemetry`` holds the registry and tracer).
+    """
+    from repro.stream import JitteredSource, ReplayObserver, profile_of
+    from repro.workloads import build_scenario
+
+    scenario = build_scenario(name, preset=preset)
+    taps = scenario.system.attach_stream_taps()
+    scenario.system.run(until=scenario.params["horizon"])
+    tap = max(taps.values(), key=lambda t: t.observation_count)
+    observer = (
+        scenario.system.sinks.get(tap.name)
+        or scenario.system.ccus[tap.name]
+    )
+    replayer = ReplayObserver(
+        profile_of(observer),
+        lateness=lateness,
+        shards=shards,
+        bounds=scenario.system.detection_bounds() if shards > 1 else None,
+        telemetry=Telemetry.create(trace_every=trace_every),
+    )
+    replayer.replay(JitteredSource(tap, max_delay=lateness, seed=seed))
+    return replayer
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs.report", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--scenario",
+        default="jittery_corridor",
+        help="registered scenario to replay (default: jittery_corridor)",
+    )
+    parser.add_argument(
+        "--preset", default="small", help="scenario preset (default: small)"
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="detection backend shards (1 = single engine)",
+    )
+    parser.add_argument(
+        "--trace-every",
+        type=int,
+        default=1,
+        help="stage-trace sampling stride (0 disables tracing)",
+    )
+    parser.add_argument(
+        "--lateness",
+        type=int,
+        default=DEFAULT_LATENESS,
+        help="replay lateness bound in ticks",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=DEFAULT_JITTER_SEED,
+        help="jitter seed for the replayed disorder",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "prometheus", "json"),
+        default="text",
+        help="output format (default: human-readable text)",
+    )
+    args = parser.parse_args(argv)
+
+    replayer = traced_replay(
+        args.scenario,
+        preset=args.preset,
+        shards=args.shards,
+        trace_every=args.trace_every,
+        lateness=args.lateness,
+        seed=args.seed,
+    )
+    runtime = replayer.runtime
+    telemetry = runtime.telemetry
+    if args.format == "text":
+        print(render_report(runtime))
+    else:
+        # The runtime auto-attached the engine to its own registry, so
+        # naive merging would double-count: a single engine writes into
+        # ``telemetry.registry`` directly, and a sharded engine's
+        # ``merged_telemetry()`` already folds that parent registry in
+        # with the per-shard children.  Pick whichever view is complete.
+        registry = telemetry.registry
+        merged = getattr(runtime.engine, "merged_telemetry", None)
+        if callable(merged):
+            merged_registry = merged()
+            if merged_registry is not None:
+                registry = merged_registry
+        else:
+            engine_registry = getattr(
+                runtime.engine, "telemetry_registry", None
+            )
+            if (
+                isinstance(engine_registry, MetricsRegistry)
+                and engine_registry is not telemetry.registry
+            ):
+                registry = MetricsRegistry.merged(
+                    [telemetry.registry, engine_registry]
+                )
+        if args.format == "prometheus":
+            print(to_prometheus(registry), end="")
+        else:
+            print(to_json(registry, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

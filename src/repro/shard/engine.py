@@ -47,6 +47,7 @@ from repro.detect.engine import (
     Match,
 )
 from repro.detect.index import DEFAULT_CELL_SIZE
+from repro.obs.registry import MetricsRegistry, RegistrySnapshot
 from repro.shard.merger import MatchMerger
 from repro.shard.partitioner import WorldPartitioner
 from repro.shard.router import ObservationRouter
@@ -76,6 +77,11 @@ class ShardedEngineSnapshot:
     seq_map: tuple[tuple[int, tuple[int, int]], ...]
     next_seq: int
     own_stats: EngineStats
+    telemetry: tuple[RegistrySnapshot, ...] | None = None
+    """Per-shard child-registry states, in shard-id order (the sharded
+    level's own counters live in the *attached* parent registry, which
+    the owning runtime's checkpoint captures); ``None`` in
+    pre-observability checkpoints or when no telemetry is attached."""
 
 
 class ShardedDetectionEngine:
@@ -122,8 +128,40 @@ class ShardedDetectionEngine:
         self._next_seq = 0
         self._max_window = 0
         self._own = EngineStats()
+        self.telemetry_registry: MetricsRegistry | None = None
+        self._shard_registries: tuple[MetricsRegistry, ...] | None = None
         for spec in specs:
             self.add_spec(spec)
+
+    def attach_telemetry(self, registry: MetricsRegistry) -> None:
+        """Wire per-shard metrics: one child registry per shard engine.
+
+        Each shard engine records its per-spec counters into its own
+        child registry (labeled ``shard=<i>``), the merger's
+        dedup/suppression counters land in the attached parent
+        ``registry``, and :meth:`merged_telemetry` rolls everything up
+        through :meth:`~repro.obs.registry.MetricsRegistry.merge` — the
+        same per-shard roll-up discipline as
+        :meth:`~repro.detect.engine.EngineStats.merge`.
+        """
+        self.telemetry_registry = registry
+        self._shard_registries = tuple(
+            MetricsRegistry() for _ in self._engines
+        )
+        for shard, (engine, child) in enumerate(
+            zip(self._engines, self._shard_registries)
+        ):
+            engine.attach_telemetry(child, shard=shard)
+        self._merger.attach_telemetry(registry)
+
+    def merged_telemetry(self) -> MetricsRegistry | None:
+        """Parent + per-shard registries rolled into one fresh registry
+        (``None`` until telemetry is attached)."""
+        if self._shard_registries is None:
+            return None
+        return MetricsRegistry.merged(
+            (self.telemetry_registry, *self._shard_registries)
+        )
 
     # -- specification management --------------------------------------
 
@@ -328,6 +366,11 @@ class ShardedDetectionEngine:
             seq_map=tuple(self._seq_map.items()),
             next_seq=self._next_seq,
             own_stats=replace(self._own),
+            telemetry=(
+                tuple(child.snapshot() for child in self._shard_registries)
+                if self._shard_registries is not None
+                else None
+            ),
         )
 
     def restore(self, snapshot: ShardedEngineSnapshot) -> None:
@@ -348,8 +391,18 @@ class ShardedDetectionEngine:
                 f"{(snapshot.partition, snapshot.bounds)}, this engine "
                 f"tiles {layout}"
             )
+        if (snapshot.telemetry is None) != (self._shard_registries is None):
+            raise ObserverError(
+                "checkpoint and sharded engine disagree about having "
+                "telemetry attached"
+            )
         for engine, shard_snapshot in zip(self._engines, snapshot.shards):
             engine.restore(shard_snapshot)
+        if self._shard_registries is not None:
+            for child, registry_snapshot in zip(
+                self._shard_registries, snapshot.telemetry
+            ):
+                child.restore(registry_snapshot)
         self._merger.last_match.clear()
         self._merger.last_match.update(snapshot.merger_last_match)
         self._seq_map = dict(snapshot.seq_map)

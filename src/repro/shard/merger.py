@@ -54,6 +54,30 @@ class MatchMerger:
 
     def __init__(self):
         self.last_match: dict[str, int] = {}
+        self._obs: tuple | None = None
+
+    def attach_telemetry(self, registry) -> None:
+        """Count merge outcomes in a metrics registry: candidates in,
+        halo duplicates collapsed, cooldown-suppressed, emitted.
+        Counters only — attaching cannot change the merged stream."""
+        self._obs = (
+            registry.counter(
+                "shard_merge_candidates_total",
+                "Per-shard candidate matches entering the merger",
+            ),
+            registry.counter(
+                "shard_merge_deduped_total",
+                "Halo-duplicate candidates collapsed by the canonical key",
+            ),
+            registry.counter(
+                "shard_merge_suppressed_total",
+                "Candidates suppressed by cooldown arbitration",
+            ),
+            registry.counter(
+                "shard_merge_emitted_total",
+                "Matches emitted in canonical single-engine order",
+            ),
+        )
 
     def clear(self) -> None:
         """Forget cooldown state (windows cleared)."""
@@ -80,7 +104,9 @@ class MatchMerger:
         # function of (spec, binding) via global arrival seqs, so two
         # shards' copies of one binding produce the identical tuple.
         chosen: dict[tuple, Match] = {}
+        offered = 0
         for match in candidates:
+            offered += 1
             key = self._sort_key(match, spec_index, seq_of)
             if key not in chosen:
                 chosen[key] = match
@@ -95,6 +121,12 @@ class MatchMerger:
                     continue
             last[match.spec.event_id] = now
             merged.append(match)
+        if self._obs is not None:
+            candidates_in, deduped, suppressed, emitted = self._obs
+            candidates_in.inc(offered)
+            deduped.inc(offered - len(chosen))
+            suppressed.inc(len(chosen) - len(merged))
+            emitted.inc(len(merged))
         return merged
 
     @staticmethod

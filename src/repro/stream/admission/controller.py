@@ -156,6 +156,24 @@ class AdmissionController:
         """Observations shed so far, across every priority class."""
         return sum(self.shed_by_priority.values())
 
+    def metrics_view(self) -> dict[str, object]:
+        """Controller state as a flat metric mapping (read-only).
+
+        The observability layer's sampling surface — deferral depth,
+        per-priority shed counts (sorted for deterministic export) and
+        per-source token-bucket levels; reading never admits, defers or
+        refills anything.
+        """
+        return {
+            "deferred_depth": len(self._deferred),
+            "shed_total": self.shed_total,
+            "shed_by_priority": dict(sorted(self.shed_by_priority.items())),
+            "bucket_levels": {
+                source: self._buckets[source].tokens
+                for source in sorted(self._buckets)
+            },
+        }
+
     def _bucket(self, source: str) -> TokenBucket:
         bucket = self._buckets.get(source)
         if bucket is None:

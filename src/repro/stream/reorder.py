@@ -89,6 +89,23 @@ class ReorderBuffer:
         """
         return self._late_count
 
+    def metrics_view(self) -> dict[str, int | None]:
+        """The buffer's state as a flat metric mapping (read-only).
+
+        The observability layer's sampling surface: the streaming
+        runtime publishes these into its metrics registry and the
+        ``repro.obs.report`` CLI prints them — reading never touches
+        the heap or the counters.
+        """
+        return {
+            "occupancy": len(self._heap),
+            "peak_occupancy": self.peak_occupancy,
+            "late_count": self._late_count,
+            "late_retained": len(self.late),
+            "released_through": self._released_through,
+            "highest_offered": self._highest_offered,
+        }
+
     def is_late(self, item: StreamItem) -> bool:
         """Whether offering ``item`` now would classify it late."""
         return (

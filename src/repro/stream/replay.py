@@ -133,6 +133,11 @@ class ReplayObserver:
             :class:`~repro.stream.resilience.dedup.RedeliveryDeduper`
             handed to the runtime — at-least-once redelivery (the
             supervised-recovery transport) replays exactly-once.
+        telemetry: Optional :class:`~repro.obs.tracing.Telemetry`
+            bundle handed to the runtime — metrics and sampled stage
+            traces for the replay, with the zero-perturbation guarantee
+            (the obs-conformance suite replays every golden under full
+            tracing).
     """
 
     profile: ObserverProfile
@@ -143,6 +148,7 @@ class ReplayObserver:
     admission: AdmissionController | None = None
     quarantine: object | None = None
     dedup: object | None = None
+    telemetry: object | None = None
     emitted: list[EventInstance] = field(default_factory=list)
     trace_rows: list[TraceRecord] = field(default_factory=list)
 
@@ -177,6 +183,7 @@ class ReplayObserver:
             admission=self.admission,
             quarantine=self.quarantine,
             dedup=self.dedup,
+            telemetry=self.telemetry,
         )
         self._seq: dict[str, int] = {}
 

@@ -248,6 +248,10 @@ class SupervisedRuntime:
                 self.backoff_delays.append(delay)
                 self._restore(checkpoint)
                 self.runtime.stats.recoveries = self.recoveries
+                self._publish("resilience_recoveries_total", self.recoveries)
+                self._publish(
+                    "resilience_backoff_ticks_total", sum(self.backoff_delays)
+                )
                 step = int(reconnect(delay))
         self._outputs.extend(self.host.finish())
         return list(self._outputs)
@@ -269,7 +273,24 @@ class SupervisedRuntime:
             state=self.host.snapshot(),
         )
         self.checkpoints_taken += 1
+        self._publish("resilience_checkpoints_total", self.checkpoints_taken)
         return checkpoint
+
+    def _publish(self, name: str, value: int) -> None:
+        """Mirror a supervision counter into the host's telemetry.
+
+        Gauges set to the supervisor's own tally (mode ``"max"``), not
+        incremented: a crash-recovery rollback restores the registry to
+        the checkpointed values, and re-setting from the authoritative
+        counter keeps the published figure correct across rollbacks —
+        the same reason ``runtime.stats.recoveries`` is assigned, not
+        added.
+        """
+        telemetry = getattr(self.runtime, "telemetry", None)
+        if telemetry is not None:
+            telemetry.registry.gauge(
+                name, "Supervision history (crash recovery)", mode="max"
+            ).set(value)
 
     def _ack(self, source, step: int) -> None:
         ack = getattr(source, "ack", None)

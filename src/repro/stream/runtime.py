@@ -45,6 +45,7 @@ from repro.detect.engine import (
     EngineStats,
     Match,
 )
+from repro.obs.tracing import Telemetry, TelemetrySnapshot
 from repro.shard.engine import ShardedDetectionEngine, ShardedEngineSnapshot
 from repro.stream.admission.backpressure import Backpressure
 from repro.stream.admission.controller import (
@@ -138,6 +139,10 @@ class RuntimeCheckpoint:
     """Dead-letter queue state
     (:class:`~repro.stream.resilience.quarantine.QuarantineSnapshot`);
     ``None`` when the runtime ran without a quarantine."""
+    telemetry: TelemetrySnapshot | None = None
+    """Metrics-registry values, in-flight and completed stage traces and
+    the telemetry step clock (:class:`~repro.obs.tracing.TelemetrySnapshot`);
+    ``None`` when the runtime ran without telemetry."""
 
 
 class StreamingDetectionRuntime:
@@ -176,6 +181,15 @@ class StreamingDetectionRuntime:
             admission — at-least-once transports become effectively
             exactly-once, with every drop counted
             (``stats.duplicates_dropped``).
+        telemetry: Optional :class:`~repro.obs.tracing.Telemetry`
+            bundle (metrics registry + stage tracer).  The runtime
+            mirrors its stream-level counters into the registry, stamps
+            sampled :class:`~repro.obs.tracing.StageTrace` spans in the
+            tick domain, and attaches the registry to the engine (via
+            ``attach_telemetry``, unless one is already attached).
+            Telemetry only *reads* the pipeline — no randomness, no
+            ordering effects — so every golden digest is reproduced
+            byte-for-byte with it enabled; checkpoints carry its state.
 
     The runtime's :attr:`stats` is an
     :class:`~repro.detect.engine.EngineStats` over the *stream* level:
@@ -196,6 +210,7 @@ class StreamingDetectionRuntime:
         admission: AdmissionController | None = None,
         quarantine: object | None = None,
         dedup: object | None = None,
+        telemetry: Telemetry | None = None,
     ):
         self.engine = engine
         self.lateness = lateness
@@ -204,6 +219,7 @@ class StreamingDetectionRuntime:
         self.admission = admission
         self.quarantine = quarantine
         self.dedup = dedup
+        self.telemetry = telemetry
         retention = (
             admission.limits.late_retention
             if admission is not None
@@ -214,6 +230,46 @@ class StreamingDetectionRuntime:
         self.stats = EngineStats()
         self.released_items = 0
         self.last_backpressure: Backpressure | None = None
+        if telemetry is not None:
+            # Series handles are cached once; registry restore mutates
+            # instruments in place, so these stay live across restores.
+            registry = telemetry.registry
+            self._m_steps = registry.counter(
+                "stream_delivery_steps_total", "Delivery steps ingested"
+            )
+            self._m_backpressure_steps = registry.counter(
+                "stream_backpressure_steps_total",
+                "Delivery steps that ended with backpressure engaged",
+            )
+            self._m_offered = registry.counter(
+                "stream_observations_offered_total",
+                "Observations accepted by the reorder buffer",
+            )
+            self._m_released = registry.counter(
+                "stream_observations_released_total",
+                "Observations released to the engine in event-time order",
+            )
+            self._m_watermark = registry.gauge(
+                "stream_watermark",
+                "Merged event-time watermark after the last step",
+                mode="last",
+            )
+            self._m_occupancy = registry.gauge(
+                "stream_reorder_occupancy",
+                "Reorder-buffer occupancy after the last step",
+                mode="last",
+            )
+            self._m_occupancy_peak = registry.gauge(
+                "stream_reorder_occupancy_peak",
+                "Reorder-buffer occupancy high-water mark",
+                mode="max",
+            )
+            attach = getattr(engine, "attach_telemetry", None)
+            if (
+                callable(attach)
+                and getattr(engine, "telemetry_registry", None) is None
+            ):
+                attach(registry)
 
     # -- ingestion -----------------------------------------------------
 
@@ -261,6 +317,15 @@ class StreamingDetectionRuntime:
         """
         started = perf_counter()
         self.tracker.ensure_open({item.source for item in items})
+        telemetry = self.telemetry
+        if telemetry is not None:
+            if items:
+                # The step clock is a monotone max: one observation of
+                # the batch maximum equals observing every arrival.
+                telemetry.observe_step(
+                    max(item.arrival_tick for item in items)
+                )
+            self._m_steps.inc()
         if self.quarantine is not None or self.dedup is not None:
             items = self._screen(items)
         if self.admission is None:
@@ -283,6 +348,13 @@ class StreamingDetectionRuntime:
             self.last_backpressure = signal
             if signal.engaged:
                 self.stats.backpressure_events += 1
+                if telemetry is not None:
+                    self._m_backpressure_steps.inc()
+        if telemetry is not None:
+            if watermark is not None:
+                self._m_watermark.set(watermark)
+            self._m_occupancy.set(self.buffer.occupancy)
+            self._m_occupancy_peak.set(self.buffer.peak_occupancy)
         self.stats.evaluation_time_s += perf_counter() - started
         return matches
 
@@ -327,6 +399,21 @@ class StreamingDetectionRuntime:
         item.  Either loser is counted in ``stats.shed_observations``
         and the controller's per-class breakdown.
         """
+        telemetry = self.telemetry
+        trace = None
+        if telemetry is not None:
+            trace = telemetry.tracer.admit(item)
+            if trace is not None:
+                # A deferred item cleared admission in a later step than
+                # it arrived: the span between the two IS the measured
+                # deferral cost.  The reorder span opens as the item
+                # reaches the buffer.
+                now = (
+                    telemetry.now
+                    if telemetry.now is not None
+                    else item.arrival_tick
+                )
+                trace.stamp_admitted(item.arrival_tick, now)
         if self.tracker.is_open(item.source):
             self.tracker.observe(item.source, item.event_tick)
         if self.admission is not None:
@@ -340,6 +427,8 @@ class StreamingDetectionRuntime:
                 if victim is None:
                     self.admission.note_shed(item)
                     self.stats.shed_observations += 1
+                    if trace is not None:
+                        telemetry.tracer.discard(trace, "shed")
                     return
                 if not self.buffer.evict_item(victim):
                     raise ObserverError(
@@ -348,10 +437,20 @@ class StreamingDetectionRuntime:
                     )
                 self.admission.note_shed(victim)
                 self.stats.shed_observations += 1
+                if telemetry is not None:
+                    victim_trace = telemetry.tracer.lookup(
+                        victim.source, victim.seq
+                    )
+                    if victim_trace is not None:
+                        telemetry.tracer.discard(victim_trace, "evicted")
         if self.buffer.offer(item):
             self.stats.entities_submitted += 1
+            if telemetry is not None:
+                self._m_offered.inc()
         else:
             self.stats.late_observations += 1
+            if trace is not None:
+                telemetry.tracer.discard(trace, "late")
 
     def run(self, source: ObservationSource | Iterable[StreamItem]) -> list[Match]:
         """Drain one source completely (arrival order), then flush.
@@ -414,6 +513,8 @@ class StreamingDetectionRuntime:
 
     def _flush(self, released: Sequence[StreamItem]) -> list[Match]:
         """Submit released items to the engine, one batch per event tick."""
+        telemetry = self.telemetry
+        tracing = telemetry is not None and telemetry.tracer.enabled
         matches: list[Match] = []
         start = 0
         while start < len(released):
@@ -425,6 +526,10 @@ class StreamingDetectionRuntime:
             start = end
             self.released_items += len(group)
             self.stats.batches_submitted += 1
+            if telemetry is not None:
+                self._m_released.inc(len(group))
+            if tracing:
+                self._trace_release(telemetry, group)
             if self.on_release is not None:
                 self.on_release(tick, group)
             if self.engine is None:
@@ -438,6 +543,29 @@ class StreamingDetectionRuntime:
                     self.on_match(match)
             matches.extend(batch_matches)
         return matches
+
+    def _trace_release(
+        self, telemetry: Telemetry, group: Sequence[StreamItem]
+    ) -> None:
+        """Close the sampled traces of one released tick group.
+
+        All stamps are ticks: the reorder span closes at the step clock,
+        the watermark-hold span measures the value's age from its event
+        tick to release, and the engine/merge/emit spans are zero-width
+        in the tick domain (evaluation, merge arbitration and emission
+        all happen within the releasing step).
+        """
+        tracer = telemetry.tracer
+        lookup = tracer.lookup
+        complete = tracer.complete
+        step_now = telemetry.now
+        for item in group:
+            trace = lookup(item.source, item.seq)
+            if trace is None:
+                continue
+            now = step_now if step_now is not None else item.event_tick
+            trace.stamp_released(item.event_tick, now)
+            complete(trace)
 
     # -- checkpoint / restore ------------------------------------------
 
@@ -470,6 +598,11 @@ class StreamingDetectionRuntime:
                 if self.quarantine is not None
                 else None
             ),
+            telemetry=(
+                self.telemetry.snapshot()
+                if self.telemetry is not None
+                else None
+            ),
         )
 
     def restore(self, checkpoint: RuntimeCheckpoint) -> None:
@@ -498,6 +631,10 @@ class StreamingDetectionRuntime:
             raise ObserverError(
                 "checkpoint and runtime disagree about having a quarantine"
             )
+        if (checkpoint.telemetry is None) != (self.telemetry is None):
+            raise ObserverError(
+                "checkpoint and runtime disagree about having telemetry"
+            )
         if (
             checkpoint.lateness is not None
             and checkpoint.lateness != self.lateness
@@ -516,6 +653,8 @@ class StreamingDetectionRuntime:
             self.dedup.restore(checkpoint.dedup)
         if self.quarantine is not None:
             self.quarantine.restore(checkpoint.quarantine)
+        if self.telemetry is not None:
+            self.telemetry.restore(checkpoint.telemetry)
         self.buffer.restore(
             checkpoint.pending,
             checkpoint.late,

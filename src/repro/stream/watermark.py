@@ -121,6 +121,20 @@ class WatermarkTracker:
             return None
         return min(lows)
 
+    def metrics_view(self) -> dict[str, object]:
+        """Tracker state as a flat metric mapping (read-only).
+
+        The observability layer's sampling surface: merged watermark,
+        per-source progress and the closed set, in registration order —
+        reading never advances or closes anything.
+        """
+        return {
+            "watermark": self.watermark(),
+            "sources": len(self._max_seen),
+            "closed": len(self._closed),
+            "max_seen": dict(self._max_seen),
+        }
+
     def snapshot(self) -> tuple[dict[str, int | None], frozenset[str]]:
         """Checkpoint view: ``(max_seen per source, closed set)``."""
         return dict(self._max_seen), frozenset(self._closed)

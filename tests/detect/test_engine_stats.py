@@ -1,0 +1,79 @@
+"""EngineStats hardening: derived-ratio guards and merge completeness.
+
+Satellites of the observability PR: ``observations_per_s`` (and every
+other derived ratio) must read 0.0 instead of dividing by a zero or
+``None`` denominator, and ``EngineStats.merge`` must have an explicit
+roll-up rule for **every** dataclass field so a newly added counter can
+never silently vanish from multi-shard aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, replace
+
+import pytest
+
+from repro.detect.engine import EngineStats
+
+
+class TestDerivedRatioGuards:
+    def test_observations_per_s_zero_elapsed_reads_zero(self):
+        stats = EngineStats(entities_submitted=100, evaluation_time_s=0.0)
+        assert stats.observations_per_s == 0.0
+
+    def test_observations_per_s_none_elapsed_reads_zero(self):
+        stats = EngineStats(entities_submitted=100)
+        stats.evaluation_time_s = None  # a reset/stubbed timer
+        assert stats.observations_per_s == 0.0
+
+    def test_observations_per_s_none_numerator_reads_zero(self):
+        stats = EngineStats(evaluation_time_s=2.0)
+        stats.entities_submitted = None
+        assert stats.observations_per_s == 0.0
+
+    def test_observations_per_s_normal_path(self):
+        stats = EngineStats(entities_submitted=100, evaluation_time_s=4.0)
+        assert stats.observations_per_s == 25.0
+
+    def test_cache_hit_rate_zero_lookups_reads_zero(self):
+        assert EngineStats().cache_hit_rate == 0.0
+
+    def test_cache_hit_rate_none_fields_read_zero(self):
+        stats = EngineStats()
+        stats.cache_hits = None
+        stats.cache_misses = None
+        assert stats.cache_hit_rate == 0.0
+
+    def test_cache_hit_rate_normal_path(self):
+        stats = EngineStats(cache_hits=3, cache_misses=1)
+        assert stats.cache_hit_rate == 0.75
+
+
+class TestMergeCompleteness:
+    def test_every_field_has_a_merge_rule(self):
+        """Adding an EngineStats field without a MERGE_RULES entry must
+        fail here, not silently drop the field from shard roll-ups."""
+        field_names = {spec.name for spec in fields(EngineStats)}
+        assert set(EngineStats.MERGE_RULES) == field_names
+
+    def test_rules_are_known_kinds(self):
+        assert set(EngineStats.MERGE_RULES.values()) <= {"sum", "max"}
+
+    @pytest.mark.parametrize("name", [spec.name for spec in fields(EngineStats)])
+    def test_merge_actually_applies_each_field(self, name):
+        rule = EngineStats.MERGE_RULES[name]
+        base_value = 2.0 if name == "evaluation_time_s" else 2
+        other_value = 5.0 if name == "evaluation_time_s" else 5
+        a = replace(EngineStats(), **{name: base_value})
+        b = replace(EngineStats(), **{name: other_value})
+        total = EngineStats.merge([a, b])
+        expected = (
+            max(base_value, other_value)
+            if rule == "max"
+            else base_value + other_value
+        )
+        assert getattr(total, name) == expected
+
+    def test_merge_of_defaults_is_identity(self):
+        stats = EngineStats(matches=3, reorder_peak=4)
+        assert EngineStats.merge([stats, EngineStats()]) == stats

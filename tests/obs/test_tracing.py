@@ -1,0 +1,181 @@
+"""Unit tests for stage tracing (repro.obs.tracing)."""
+
+from __future__ import annotations
+
+from collections import namedtuple
+
+import pytest
+
+from repro.core.errors import ObserverError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import (
+    STAGES,
+    PipelineTracer,
+    Stage,
+    StageTrace,
+    Telemetry,
+)
+
+Item = namedtuple("Item", ["source", "seq"])
+
+
+class TestStageTrace:
+    def test_enter_exit_residency(self):
+        trace = StageTrace("s", 0)
+        trace.enter(Stage.REORDER, 3)
+        trace.exit(Stage.REORDER, 10)
+        assert trace.span(Stage.REORDER) == (3, 10)
+        assert trace.residency(Stage.REORDER) == 7
+        assert trace.residency(Stage.ENGINE) is None
+
+    def test_row_round_trip(self):
+        trace = StageTrace("s", 4)
+        trace.enter(Stage.ADMISSION, 1)
+        trace.exit(Stage.ADMISSION, 1)
+        trace.enter(Stage.REORDER, 1)
+        row = trace.as_row()
+        back = StageTrace.from_row(row)
+        assert back.as_row() == row
+        assert back.key == ("s", 4)
+
+    def test_row_lists_every_stage_in_order(self):
+        row = StageTrace("s", 0).as_row()
+        assert [entry[0] for entry in row[2]] == [
+            stage.value for stage in STAGES
+        ]
+
+
+class TestSampling:
+    def test_disabled_tracer_samples_nothing(self):
+        tracer = PipelineTracer(MetricsRegistry(), trace_every=0)
+        assert not tracer.enabled
+        for seq in range(10):
+            assert tracer.admit(Item("s", seq)) is None
+        assert tracer.active_count == 0
+
+    def test_trace_every_k_is_deterministic(self):
+        tracer = PipelineTracer(MetricsRegistry(), trace_every=3)
+        picks = [
+            tracer.admit(Item("s", seq)) is not None for seq in range(9)
+        ]
+        assert picks == [True, False, False] * 3
+
+    def test_trace_every_one_samples_everything(self):
+        tracer = PipelineTracer(MetricsRegistry(), trace_every=1)
+        traces = [tracer.admit(Item("s", seq)) for seq in range(5)]
+        assert all(trace is not None for trace in traces)
+        assert tracer.active_count == 5
+
+    def test_same_cursor_same_picks_across_runs(self):
+        def picks():
+            tracer = PipelineTracer(MetricsRegistry(), trace_every=4)
+            return [
+                tracer.admit(Item("s", seq)) is not None
+                for seq in range(17)
+            ]
+
+        assert picks() == picks()
+
+
+class TestLifecycle:
+    def _tracer(self) -> tuple[MetricsRegistry, PipelineTracer]:
+        registry = MetricsRegistry()
+        return registry, PipelineTracer(registry, trace_every=1)
+
+    def test_complete_feeds_residency_histograms_and_ring(self):
+        registry, tracer = self._tracer()
+        trace = tracer.admit(Item("s", 0))
+        trace.enter(Stage.REORDER, 0)
+        trace.exit(Stage.REORDER, 5)
+        tracer.complete(trace)
+        assert tracer.active_count == 0
+        assert len(tracer.completed_rows()) == 1
+        histogram = registry.histogram(
+            "obs_stage_residency_ticks", stage=Stage.REORDER.value
+        )
+        assert histogram.count == 1
+        assert histogram.total == 5
+
+    def test_lookup_finds_in_flight_traces(self):
+        _, tracer = self._tracer()
+        trace = tracer.admit(Item("s", 7))
+        assert tracer.lookup("s", 7) is trace
+        assert tracer.lookup("s", 8) is None
+
+    def test_discard_counts_per_reason(self):
+        registry, tracer = self._tracer()
+        tracer.discard(tracer.admit(Item("s", 0)), "shed")
+        tracer.discard(tracer.admit(Item("s", 1)), "late")
+        tracer.discard(tracer.admit(Item("s", 2)), "shed")
+        assert tracer.active_count == 0
+        assert (
+            registry.counter(
+                "obs_traces_discarded_total", reason="shed"
+            ).value
+            == 2
+        )
+        assert (
+            registry.counter(
+                "obs_traces_discarded_total", reason="late"
+            ).value
+            == 1
+        )
+
+    def test_ring_is_bounded(self):
+        registry = MetricsRegistry()
+        tracer = PipelineTracer(registry, trace_every=1, ring=2)
+        for seq in range(5):
+            tracer.complete(tracer.admit(Item("s", seq)))
+        rows = tracer.completed_rows()
+        assert len(rows) == 2
+        assert [row[1] for row in rows] == [3, 4]  # newest kept
+
+    def test_ring_must_hold_at_least_one(self):
+        with pytest.raises(ObserverError):
+            PipelineTracer(MetricsRegistry(), trace_every=1, ring=0)
+
+
+class TestSnapshotRestore:
+    def test_round_trip_restores_cursor_active_and_ring(self):
+        telemetry = Telemetry.create(trace_every=2)
+        tracer = telemetry.tracer
+        done = tracer.admit(Item("s", 0))  # 1st offer: sampled
+        tracer.complete(done)
+        assert tracer.admit(Item("s", 1)) is None  # 2nd offer: skipped
+        tracer.admit(Item("s", 2))  # 3rd offer: sampled, in flight
+        telemetry.observe_step(9)
+        snapshot = telemetry.snapshot()
+
+        resumed = Telemetry.create(trace_every=2)
+        resumed.restore(snapshot)
+        assert resumed.now == 9
+        assert resumed.tracer._offered == tracer._offered
+        assert resumed.tracer.completed_rows() == tracer.completed_rows()
+        assert resumed.tracer.lookup("s", 2) is not None
+        # Post-restore sampling continues the cursor identically.
+        for seq in range(4, 8):
+            a = tracer.admit(Item("s", seq)) is not None
+            b = resumed.tracer.admit(Item("s", seq)) is not None
+            assert a == b
+
+    def test_restore_rejects_trace_every_mismatch(self):
+        snapshot = Telemetry.create(trace_every=4).snapshot()
+        other = Telemetry.create(trace_every=1)
+        with pytest.raises(ObserverError):
+            other.restore(snapshot)
+
+    def test_restore_rejects_ring_mismatch(self):
+        snapshot = Telemetry.create(trace_every=1, ring=8).snapshot()
+        other = Telemetry.create(trace_every=1, ring=16)
+        with pytest.raises(ObserverError):
+            other.restore(snapshot)
+
+
+class TestTelemetryClock:
+    def test_observe_step_is_monotone(self):
+        telemetry = Telemetry.create()
+        telemetry.observe_step(5)
+        telemetry.observe_step(3)  # never rewinds
+        assert telemetry.now == 5
+        telemetry.observe_step(8)
+        assert telemetry.now == 8
